@@ -1,0 +1,98 @@
+// Command ffdl-bench regenerates every table and figure from the
+// paper's evaluation (§5).
+//
+// Usage:
+//
+//	ffdl-bench -all
+//	ffdl-bench -table 1            # Table 1 only
+//	ffdl-bench -fig 4 -runs 20     # Figure 4 with 20 runs per config
+//	ffdl-bench -fig 3 -days 60     # Figure 3 over a 60-day trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ffdl/ffdl/internal/expt"
+	"github.com/ffdl/ffdl/internal/trace"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		table  = flag.Int("table", 0, "regenerate one table (1-8)")
+		fig    = flag.Int("fig", 0, "regenerate one figure (3-8)")
+		days   = flag.Int("days", 30, "trace length for Figure 3 / failure analyses")
+		runs   = flag.Int("runs", 20, "runs per configuration for Figure 4")
+		trials = flag.Int("trials", 5, "crash trials per component for Table 3")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	emit := func(t *expt.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffdl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+	want := func(kind string, n int) bool {
+		if *all {
+			return true
+		}
+		if kind == "table" {
+			return *table == n
+		}
+		return *fig == n
+	}
+
+	if want("table", 1) {
+		emit(expt.Table1Render(), nil)
+	}
+	if want("table", 2) {
+		emit(expt.Table2Render(), nil)
+	}
+	if want("table", 3) {
+		t, err := expt.Table3Render(*trials)
+		emit(t, err)
+	}
+	if want("table", 4) {
+		emit(expt.Table4Render(), nil)
+	}
+	if want("table", 5) {
+		emit(expt.Table5Render(), nil)
+	}
+	if want("table", 6) {
+		emit(expt.Table6Render(), nil)
+	}
+	if want("table", 7) {
+		emit(expt.Table7Render(), nil)
+	}
+	if want("table", 8) {
+		emit(expt.Table8Render(*days, *seed), nil)
+	}
+	if want("fig", 3) {
+		emit(expt.Figure3Render(trace.Config{Days: *days, Seed: *seed}), nil)
+	}
+	if want("fig", 4) {
+		emit(expt.Figure4Render(*runs, *seed), nil)
+	}
+	if want("fig", 5) {
+		emit(expt.Figure5Render(), nil)
+	}
+	if want("fig", 6) {
+		emit(expt.Figure6Render(*days, *seed), nil)
+	}
+	if want("fig", 7) {
+		emit(expt.Figure7Render(30, *seed), nil)
+	}
+	if want("fig", 8) {
+		emit(expt.Figure8Render(150, *seed), nil)
+	}
+}

@@ -1,0 +1,191 @@
+// Command ffdl-cli is the user-facing CLI from Fig. 1: it talks to a
+// running ffdl-server over REST.
+//
+//	ffdl-cli -server http://127.0.0.1:8080 submit -name train1 -user alice \
+//	    -framework Caffe -model VGG-16 -learners 2 -gpus 1 -gputype K80 \
+//	    -iterations 1000 -data datasets -prefix demo/
+//	ffdl-cli status <jobID>
+//	ffdl-cli list [-user alice]
+//	ffdl-cli logs <jobID> [-search iteration]
+//	ffdl-cli halt|resume|terminate <jobID>
+//	ffdl-cli cluster
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"github.com/ffdl/ffdl"
+	"github.com/ffdl/ffdl/internal/perf"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "ffdl-server base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		submit(*server, rest)
+	case "status":
+		needID(rest)
+		get(*server + "/v1/jobs/" + rest[0])
+	case "list":
+		fs := flag.NewFlagSet("list", flag.ExitOnError)
+		user := fs.String("user", "", "filter by user")
+		fs.Parse(rest) //nolint:errcheck
+		get(*server + "/v1/jobs?user=" + *user)
+	case "logs":
+		needID(rest)
+		fs := flag.NewFlagSet("logs", flag.ExitOnError)
+		search := fs.String("search", "", "substring filter")
+		fs.Parse(rest[1:]) //nolint:errcheck
+		url := *server + "/v1/jobs/" + rest[0] + "/logs"
+		if *search != "" {
+			url += "?search=" + *search
+		}
+		logs(url)
+	case "halt", "resume", "terminate":
+		needID(rest)
+		post(*server + "/v1/jobs/" + rest[0] + "/" + cmd)
+	case "cluster":
+		get(*server + "/v1/cluster")
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ffdl-cli [-server URL] submit|status|list|logs|halt|resume|terminate|cluster ...")
+	os.Exit(2)
+}
+
+func needID(rest []string) {
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "ffdl-cli: job id required")
+		os.Exit(2)
+	}
+}
+
+func submit(server string, rest []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var m ffdl.Manifest
+	fs.StringVar(&m.Name, "name", "", "job name")
+	fs.StringVar(&m.User, "user", "", "owner")
+	framework := fs.String("framework", "Caffe", "Caffe or TensorFlow")
+	model := fs.String("model", "VGG-16", "VGG-16, Resnet-50 or InceptionV3")
+	fs.IntVar(&m.Learners, "learners", 1, "number of learners")
+	fs.IntVar(&m.GPUsPerLearner, "gpus", 1, "GPUs per learner")
+	gpuType := fs.String("gputype", "K80", "K80, P100 or V100")
+	fs.IntVar(&m.Iterations, "iterations", 1000, "training iterations")
+	fs.IntVar(&m.CheckpointEvery, "checkpoint-every", 100, "checkpoint interval (iterations)")
+	fs.StringVar(&m.DataBucket, "data", "datasets", "training data bucket")
+	fs.StringVar(&m.DataPrefix, "prefix", "demo/", "training data key prefix")
+	fs.StringVar(&m.ResultBucket, "results", "", "result bucket (default ffdl-results)")
+	fs.StringVar(&m.Command, "command", "python train.py", "user training command")
+	fs.Parse(rest) //nolint:errcheck
+	m.Framework = perfFramework(*framework)
+	m.Model = perfModel(*model)
+	m.GPUType = perfGPU(*gpuType)
+
+	body, err := json.Marshal(m)
+	if err != nil {
+		die(err)
+	}
+	resp, err := http.Post(server+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body) //nolint:errcheck
+	fmt.Println()
+}
+
+func perfFramework(s string) perf.Framework {
+	switch s {
+	case "TensorFlow", "tensorflow", "tf":
+		return ffdl.TensorFlow
+	default:
+		return ffdl.Caffe
+	}
+}
+
+func perfModel(s string) perf.Model {
+	switch s {
+	case "Resnet-50", "resnet50", "resnet-50":
+		return ffdl.ResNet50
+	case "InceptionV3", "inceptionv3", "inception":
+		return ffdl.InceptionV3
+	default:
+		return ffdl.VGG16
+	}
+}
+
+func perfGPU(s string) perf.GPUType {
+	switch s {
+	case "P100", "p100":
+		return ffdl.P100
+	case "V100", "v100":
+		return ffdl.V100
+	default:
+		return ffdl.K80
+	}
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	prettyPrint(resp.Body)
+}
+
+func post(url string) {
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	prettyPrint(resp.Body)
+}
+
+func logs(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	var lines []ffdl.LogLine
+	if err := json.NewDecoder(resp.Body).Decode(&lines); err != nil {
+		die(err)
+	}
+	for _, l := range lines {
+		fmt.Printf("%s learner-%d %s\n", l.Time.Format("15:04:05.000"), l.Learner, l.Text)
+	}
+}
+
+func prettyPrint(r io.Reader) {
+	var v any
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		die(err)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(string(out))
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "ffdl-cli: %v\n", err)
+	os.Exit(1)
+}

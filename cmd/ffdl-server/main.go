@@ -1,0 +1,163 @@
+// Command ffdl-server boots a complete in-process FfDL platform (etcd
+// cluster, metadata store, object storage, kube-like orchestrator, API
+// and LCM replicas) plus a synthetic GPU cluster, and serves the
+// training API over REST — the shape a self-hosted deployment of the
+// paper's system exposes.
+//
+//	ffdl-server -listen :8080 -k80 4 -v100 2
+//
+// Endpoints:
+//
+//	POST /v1/jobs                submit a job (JSON manifest)
+//	GET  /v1/jobs                list jobs (?user=)
+//	GET  /v1/jobs/{id}           job status + history
+//	GET  /v1/jobs/{id}/logs      collected logs (?search=)
+//	POST /v1/jobs/{id}/halt      HALT (checkpoint + release GPUs)
+//	POST /v1/jobs/{id}/resume    RESUME from latest checkpoint
+//	POST /v1/jobs/{id}/terminate cancel
+//	GET  /v1/cluster             GPU utilization
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/ffdl/ffdl"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		k80     = flag.Int("k80", 4, "number of 4-GPU K80 nodes")
+		p100    = flag.Int("p100", 0, "number of 4-GPU P100 nodes")
+		v100    = flag.Int("v100", 0, "number of 4-GPU V100 nodes")
+		speedup = flag.Float64("time-compression", 1e-3, "modeled-seconds to real-seconds factor for training")
+	)
+	flag.Parse()
+
+	p, err := ffdl.New(ffdl.Config{TimeCompression: *speedup})
+	if err != nil {
+		log.Fatalf("ffdl-server: %v", err)
+	}
+	defer p.Stop()
+	if *k80 > 0 {
+		p.AddNodes("k80", ffdl.K80, *k80, 4)
+	}
+	if *p100 > 0 {
+		p.AddNodes("p100", ffdl.P100, *p100, 4)
+	}
+	if *v100 > 0 {
+		p.AddNodes("v100", ffdl.V100, *v100, 4)
+	}
+	if err := p.SeedDataset("datasets", "demo/", 8<<20); err != nil {
+		log.Fatalf("ffdl-server: seed dataset: %v", err)
+	}
+	client := p.Client()
+
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v) //nolint:errcheck
+	}
+	fail := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		switch r.Method {
+		case http.MethodPost:
+			var m ffdl.Manifest
+			if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+				fail(w, http.StatusBadRequest, err)
+				return
+			}
+			id, err := client.Submit(ctx, m)
+			if err != nil {
+				fail(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, map[string]string{"jobId": id})
+		case http.MethodGet:
+			jobs, err := client.List(ctx, r.URL.Query().Get("user"))
+			if err != nil {
+				fail(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, jobs)
+		default:
+			w.WriteHeader(http.StatusMethodNotAllowed)
+		}
+	})
+
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		parts := strings.SplitN(rest, "/", 2)
+		jobID := parts[0]
+		action := ""
+		if len(parts) == 2 {
+			action = parts[1]
+		}
+		switch {
+		case action == "" && r.Method == http.MethodGet:
+			reply, err := client.Status(ctx, jobID)
+			if err != nil {
+				fail(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, reply)
+		case action == "logs" && r.Method == http.MethodGet:
+			var lines []ffdl.LogLine
+			var err error
+			if q := r.URL.Query().Get("search"); q != "" {
+				lines, err = client.SearchLogs(ctx, jobID, q)
+			} else {
+				lines, err = client.Logs(ctx, jobID)
+			}
+			if err != nil {
+				fail(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, lines)
+		case r.Method == http.MethodPost:
+			var err error
+			switch action {
+			case "halt":
+				err = client.Halt(ctx, jobID)
+			case "resume":
+				err = client.Resume(ctx, jobID)
+			case "terminate":
+				err = client.Terminate(ctx, jobID)
+			default:
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			if err != nil {
+				fail(w, http.StatusConflict, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		default:
+			w.WriteHeader(http.StatusMethodNotAllowed)
+		}
+	})
+
+	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		alloc, capacity := p.GPUUtilization()
+		writeJSON(w, http.StatusOK, map[string]int{"allocatedGPUs": alloc, "capacityGPUs": capacity})
+	})
+
+	fmt.Printf("ffdl-server listening on http://%s (GPUs: %d K80-node, %d P100-node, %d V100-node; dataset bucket \"datasets\" prefix \"demo/\")\n",
+		*listen, *k80, *p100, *v100)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

@@ -1,0 +1,88 @@
+// Distributed training with failure injection: a 4-learner ResNet-50
+// job trains across two nodes; mid-run we kill a learner pod and crash
+// a worker node, and the platform recovers both times from the latest
+// checkpoint (§3.8's robustness story, live).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/ffdl/ffdl"
+)
+
+func main() {
+	platform, err := ffdl.New(ffdl.Config{
+		TimeCompression: 5e-5,
+	})
+	if err != nil {
+		log.Fatalf("boot platform: %v", err)
+	}
+	defer platform.Stop()
+	platform.AddNodes("v100", ffdl.V100, 3, 4)
+	if err := platform.SeedDataset("datasets", "imagenet/", 16<<20); err != nil {
+		log.Fatalf("seed dataset: %v", err)
+	}
+
+	client := platform.Client()
+	ctx := context.Background()
+	jobID, err := client.Submit(ctx, ffdl.Manifest{
+		Name: "resnet50-dist", User: "bob",
+		Framework: ffdl.TensorFlow, Model: ffdl.ResNet50,
+		Command:  "python train_dist.py --sync",
+		Learners: 4, GPUsPerLearner: 2, GPUType: ffdl.V100,
+		Iterations: 2000, CheckpointEvery: 100, BatchSize: 128,
+		DataBucket: "datasets", DataPrefix: "imagenet/",
+	})
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("submitted 4-learner x 2-GPU job %s (gang-scheduled)\n", jobID)
+
+	waitFor := func(want ffdl.JobStatus) {
+		wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		defer cancel()
+		got, err := client.WaitForStatus(wctx, jobID, want, 5*time.Millisecond)
+		if err != nil {
+			log.Fatalf("waiting for %s: %v", want, err)
+		}
+		fmt.Printf("  job is %s\n", got)
+		if got != want && got.Terminal() {
+			log.Fatalf("job ended %s while waiting for %s", got, want)
+		}
+	}
+	waitFor(ffdl.StatusProcessing)
+
+	// Wait until the job has checkpointed at least once.
+	for {
+		objs, err := platform.Store.List("ffdl-results", jobID+"/checkpoints/")
+		if err == nil && len(objs) > 0 {
+			fmt.Printf("  checkpoint available: %s\n", objs[len(objs)-1].Key)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fault 1: kill a learner pod (container crash). The stateful set
+	// restarts it; it rejoins and resumes from the checkpoint.
+	fmt.Println("injecting fault: killing learner-2's container")
+	platform.Kube.KillPod("learner-"+jobID+"-2", "example-chaos")
+	waitFor(ffdl.StatusProcessing)
+
+	// Fault 2: crash a whole worker node. Eviction + rescheduling move
+	// the affected pods to surviving nodes.
+	pod, ok := platform.Kube.Store().GetPod("learner-" + jobID + "-0")
+	if ok && pod.Status.Node != "" {
+		fmt.Printf("injecting fault: crashing node %s\n", pod.Status.Node)
+		platform.Kube.CrashNode(pod.Status.Node)
+	}
+	waitFor(ffdl.StatusCompleted)
+
+	// Show the recovery in the logs.
+	resumes, _ := client.SearchLogs(ctx, jobID, "resuming from checkpoint")
+	fmt.Printf("learners resumed from checkpoints %d time(s)\n", len(resumes))
+	nodeFailures, total := platform.Kube.DeletionStats()
+	fmt.Printf("pod deletions: %d total, %d due to node failure\n", total, nodeFailures)
+}

@@ -1,0 +1,112 @@
+// Hyperparameter sweep with HALT/RESUME: launch one training job per
+// learning rate, watch early progress, HALT the stragglers to free
+// their GPUs (checkpoints retained), let the leaders finish, then
+// RESUME one halted candidate — the checkpoint-driven tuning workflow
+// §3.8 says HALT/RESUME exists for.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/ffdl/ffdl"
+)
+
+func main() {
+	platform, err := ffdl.New(ffdl.Config{
+		TimeCompression: 2e-4,
+	})
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+	defer platform.Stop()
+	platform.AddNodes("p100", ffdl.P100, 2, 4)
+	if err := platform.SeedDataset("datasets", "cifar/", 4<<20); err != nil {
+		log.Fatalf("seed: %v", err)
+	}
+	client := platform.Client()
+	ctx := context.Background()
+
+	lrs := []string{"0.1", "0.01", "0.001", "0.0001"}
+	jobs := make(map[string]string, len(lrs)) // lr -> jobID
+	for _, lr := range lrs {
+		id, err := client.Submit(ctx, ffdl.Manifest{
+			Name: "sweep-lr-" + lr, User: "tuner",
+			Framework: ffdl.TensorFlow, Model: ffdl.InceptionV3,
+			Command:  "python train.py --lr=" + lr,
+			Learners: 1, GPUsPerLearner: 2, GPUType: ffdl.P100,
+			Iterations: 4000, CheckpointEvery: 200,
+			DataBucket: "datasets", DataPrefix: "cifar/",
+		})
+		if err != nil {
+			log.Fatalf("submit lr=%s: %v", lr, err)
+		}
+		jobs[lr] = id
+		fmt.Printf("submitted lr=%s as %s\n", lr, id)
+	}
+
+	// Wait until everything trains and has checkpointed.
+	for _, id := range jobs {
+		wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		if _, err := client.WaitForStatus(wctx, id, ffdl.StatusProcessing, 5*time.Millisecond); err != nil {
+			log.Fatalf("job %s never started: %v", id, err)
+		}
+		cancel()
+		for {
+			objs, err := platform.Store.List("ffdl-results", id+"/checkpoints/")
+			if err == nil && len(objs) > 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	alloc, capacity := platform.GPUUtilization()
+	fmt.Printf("sweep running: %d/%d GPUs busy\n", alloc, capacity)
+
+	// "Early stopping": halt the two worst candidates, freeing GPUs but
+	// keeping their checkpoints.
+	for _, lr := range []string{"0.1", "0.0001"} {
+		if err := client.Halt(ctx, jobs[lr]); err != nil {
+			log.Fatalf("halt lr=%s: %v", lr, err)
+		}
+		wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		if _, err := client.WaitForStatus(wctx, jobs[lr], ffdl.StatusHalted, 5*time.Millisecond); err != nil {
+			log.Fatalf("lr=%s never halted: %v", lr, err)
+		}
+		cancel()
+		fmt.Printf("halted lr=%s (checkpoint retained)\n", lr)
+	}
+	alloc, _ = platform.GPUUtilization()
+	fmt.Printf("after halting stragglers: %d GPUs busy\n", alloc)
+
+	// Let the leaders run to completion.
+	for _, lr := range []string{"0.01", "0.001"} {
+		wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+		status, err := client.WaitForStatus(wctx, jobs[lr], ffdl.StatusCompleted, 5*time.Millisecond)
+		cancel()
+		if err != nil || status != ffdl.StatusCompleted {
+			log.Fatalf("lr=%s ended %s (%v)", lr, status, err)
+		}
+		fmt.Printf("lr=%s completed\n", lr)
+	}
+
+	// Second thoughts: resume lr=0.1 from its checkpoint.
+	if err := client.Resume(ctx, jobs["0.1"]); err != nil {
+		log.Fatalf("resume: %v", err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	status, err := client.WaitForStatus(wctx, jobs["0.1"], ffdl.StatusCompleted, 5*time.Millisecond)
+	cancel()
+	if err != nil {
+		log.Fatalf("resumed job: %v", err)
+	}
+	fmt.Printf("resumed lr=0.1 finished with status %s\n", status)
+	resumed, _ := client.SearchLogs(ctx, jobs["0.1"], "resuming from checkpoint")
+	fmt.Printf("it resumed from its checkpoint (%d log line(s) confirm)\n", len(resumed))
+
+	// Tidy up the remaining halted candidate.
+	client.Terminate(ctx, jobs["0.0001"]) //nolint:errcheck
+	fmt.Println("sweep done")
+}

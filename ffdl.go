@@ -1,0 +1,140 @@
+// Package ffdl is the public API of the FfDL reproduction: a flexible
+// multi-tenant deep learning platform (Jayaram et al., MIDDLEWARE '19)
+// rebuilt as an in-process Go system over simulated substrates
+// (Kubernetes-like orchestration, Raft-replicated etcd, a document
+// store, object storage with an s3fs-style caching mount, and NFS
+// volumes).
+//
+// Quickstart:
+//
+//	p, err := ffdl.New(ffdl.Config{})
+//	if err != nil { ... }
+//	defer p.Stop()
+//	p.AddNodes("k80", ffdl.K80, 2, 4) // 2 nodes x 4 K80 GPUs
+//	p.SeedDataset("datasets", "mnist/", 8<<20)
+//
+//	client := p.Client()
+//	jobID, err := client.Submit(ctx, ffdl.Manifest{
+//	    Name: "train-vgg", User: "alice",
+//	    Framework: ffdl.Caffe, Model: ffdl.VGG16,
+//	    Learners: 2, GPUsPerLearner: 1, GPUType: ffdl.K80,
+//	    Iterations: 1000, CheckpointEvery: 100,
+//	    DataBucket: "datasets", DataPrefix: "mnist/",
+//	})
+//	status, err := client.WaitForStatus(ctx, jobID, ffdl.StatusCompleted, 10*time.Millisecond)
+//
+// The package re-exports the platform's user-facing types from
+// internal/core and the performance-model vocabulary from internal/perf;
+// everything else (scheduling policies, substrates, experiment
+// harnesses) lives under internal/ and is exercised through this surface
+// or cmd/ffdl-bench.
+package ffdl
+
+import (
+	"fmt"
+
+	"github.com/ffdl/ffdl/internal/core"
+	"github.com/ffdl/ffdl/internal/perf"
+	"github.com/ffdl/ffdl/internal/sched"
+)
+
+// Re-exported user-facing types.
+type (
+	// Manifest describes a training job (§3.1's "natural language" job
+	// description: code, data location, learners, resources).
+	Manifest = core.Manifest
+	// Client is the load-balanced API client (what the CLI wraps).
+	Client = core.Client
+	// JobStatus is the DL-specific job state.
+	JobStatus = core.JobStatus
+	// StatusEntry is one timestamped history record.
+	StatusEntry = core.StatusEntry
+	// JobRecord is a stored job with manifest, status and history.
+	JobRecord = core.JobRecord
+	// LogLine is one collected learner log line.
+	LogLine = core.LogLine
+	// Config configures the platform; the zero value is production-like
+	// (gang scheduling + pack placement, 2 API / 2 LCM / 3 etcd
+	// replicas).
+	Config = core.Config
+)
+
+// Job statuses.
+const (
+	StatusPending     = core.StatusPending
+	StatusDeploying   = core.StatusDeploying
+	StatusDownloading = core.StatusDownloading
+	StatusProcessing  = core.StatusProcessing
+	StatusStoring     = core.StatusStoring
+	StatusCompleted   = core.StatusCompleted
+	StatusFailed      = core.StatusFailed
+	StatusHalted      = core.StatusHalted
+	StatusResumed     = core.StatusResumed
+	StatusCanceled    = core.StatusCanceled
+)
+
+// GPU types.
+const (
+	K80  = perf.K80
+	P100 = perf.P100
+	V100 = perf.V100
+)
+
+// Frameworks.
+const (
+	Caffe      = perf.Caffe
+	TensorFlow = perf.TensorFlow
+)
+
+// Benchmark models.
+const (
+	VGG16       = perf.VGG16
+	ResNet50    = perf.ResNet50
+	InceptionV3 = perf.InceptionV3
+)
+
+// Platform is a running FfDL instance. It wraps the core platform with
+// convenience helpers; the embedded *core.Platform exposes the
+// substrates (Kube, Etcd, Mongo, Store, NFS, Metrics) for advanced use
+// and fault injection.
+type Platform struct {
+	*core.Platform
+}
+
+// New boots a platform with no worker nodes; add capacity with
+// AddNodes.
+func New(cfg Config) (*Platform, error) {
+	p, err := core.NewPlatform(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{Platform: p}, nil
+}
+
+// AddNodes adds n identical worker machines named "<prefix>-<i>", each
+// with the given GPUs and the matching t-shirt CPU/memory provisioning.
+func (p *Platform) AddNodes(prefix string, gpuType perf.GPUType, n, gpusPerNode int) {
+	size := perf.RecommendSize(1, gpuType)
+	for i := 0; i < n; i++ {
+		p.AddNode(fmt.Sprintf("%s-%d", prefix, i), string(gpuType), gpusPerNode,
+			size.CPU*gpusPerNode+8, int64(size.MemoryGB*gpusPerNode+32)*1024)
+	}
+}
+
+// SeedDataset creates a bucket holding one synthetic dataset shard of
+// the given size under prefix, ready to reference from a Manifest.
+func (p *Platform) SeedDataset(bucket, prefix string, bytes int) error {
+	p.Store.EnsureBucket(bucket)
+	return p.Store.Put(bucket, prefix+"shard-0000", make([]byte, bytes))
+}
+
+// GPUUtilization returns (allocated, capacity) GPUs.
+func (p *Platform) GPUUtilization() (allocated, capacity int) {
+	return p.Kube.GPUUtilization()
+}
+
+// Resources constructs a resource vector (exported for custom node
+// shapes).
+func Resources(milliCPU, memMB int64, gpus int) sched.Resources {
+	return sched.Resources{MilliCPU: milliCPU, MemoryMB: memMB, GPUs: gpus}
+}

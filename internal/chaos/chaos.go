@@ -1,0 +1,171 @@
+// Package chaos injects faults into a running platform, in the spirit of
+// the chaos-engineering practice the paper's related work discusses and
+// the fault classes its §5.6 failure analysis catalogs: worker-node
+// crashes (hardware failures, OS updates, container daemon failures),
+// pod kills, and flaky nodes that crash repeatedly.
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/kube"
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// Injector drives randomized faults against a kube cluster.
+type Injector struct {
+	cluster *kube.Cluster
+	clock   sim.Clock
+	rng     *sim.RNG
+
+	// NodeMTBF is the per-node mean time between failures; zero
+	// disables node crashes.
+	NodeMTBF time.Duration
+	// NodeRecovery is the mean time a crashed node stays down.
+	NodeRecovery time.Duration
+	// PodKillMTBF is the mean time between random pod kills across the
+	// cluster; zero disables.
+	PodKillMTBF time.Duration
+
+	mu        sync.Mutex
+	nodeCrash int64
+	podKills  int64
+	downNodes map[string]bool
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	stopOnce  sync.Once
+	startOnce sync.Once
+}
+
+// NewInjector returns an injector bound to a cluster.
+func NewInjector(c *kube.Cluster, rng *sim.RNG) *Injector {
+	return &Injector{
+		cluster:      c,
+		clock:        c.Clock(),
+		rng:          rng,
+		NodeMTBF:     0,
+		NodeRecovery: 200 * time.Millisecond,
+		downNodes:    make(map[string]bool),
+		stopCh:       make(chan struct{}),
+	}
+}
+
+// Start launches the fault loops.
+func (in *Injector) Start() {
+	in.startOnce.Do(func() {
+		if in.NodeMTBF > 0 {
+			in.wg.Add(1)
+			go func() {
+				defer in.wg.Done()
+				in.nodeLoop()
+			}()
+		}
+		if in.PodKillMTBF > 0 {
+			in.wg.Add(1)
+			go func() {
+				defer in.wg.Done()
+				in.podLoop()
+			}()
+		}
+	})
+}
+
+// Stop halts injection (crashed nodes are restored).
+func (in *Injector) Stop() {
+	in.stopOnce.Do(func() { close(in.stopCh) })
+	in.wg.Wait()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for name := range in.downNodes {
+		in.cluster.RestoreNode(name)
+		delete(in.downNodes, name)
+	}
+}
+
+// Stats reports (node crashes, pod kills) injected so far.
+func (in *Injector) Stats() (nodeCrashes, podKills int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nodeCrash, in.podKills
+}
+
+// nodeLoop crashes random nodes at cluster-wide exponential intervals
+// and restores them after a recovery delay.
+func (in *Injector) nodeLoop() {
+	for {
+		nodes := in.cluster.Store().ListNodes()
+		if len(nodes) == 0 {
+			return
+		}
+		// Cluster-wide rate: MTBF per node / node count.
+		mean := float64(in.NodeMTBF) / float64(len(nodes))
+		in.mu.Lock()
+		wait := time.Duration(in.rng.Exp(mean))
+		in.mu.Unlock()
+		select {
+		case <-in.stopCh:
+			return
+		case <-in.clock.After(wait):
+		}
+		in.mu.Lock()
+		var up []string
+		for _, n := range nodes {
+			if !in.downNodes[n.Name] {
+				up = append(up, n.Name)
+			}
+		}
+		if len(up) == 0 {
+			in.mu.Unlock()
+			continue
+		}
+		victim := up[in.rng.Intn(len(up))]
+		in.downNodes[victim] = true
+		in.nodeCrash++
+		recovery := time.Duration(in.rng.Exp(float64(in.NodeRecovery)))
+		in.mu.Unlock()
+
+		in.cluster.CrashNode(victim)
+		in.wg.Add(1)
+		go func(name string, after time.Duration) {
+			defer in.wg.Done()
+			select {
+			case <-in.stopCh:
+				return
+			case <-in.clock.After(after):
+			}
+			in.cluster.RestoreNode(name)
+			in.mu.Lock()
+			delete(in.downNodes, name)
+			in.mu.Unlock()
+		}(victim, recovery)
+	}
+}
+
+// podLoop kills random running pods.
+func (in *Injector) podLoop() {
+	for {
+		in.mu.Lock()
+		wait := time.Duration(in.rng.Exp(float64(in.PodKillMTBF)))
+		in.mu.Unlock()
+		select {
+		case <-in.stopCh:
+			return
+		case <-in.clock.After(wait):
+		}
+		var running []string
+		for _, p := range in.cluster.Store().ListPods("") {
+			if p.Status.Phase == kube.PodRunning {
+				running = append(running, p.Name)
+			}
+		}
+		if len(running) == 0 {
+			continue
+		}
+		in.mu.Lock()
+		victim := running[in.rng.Intn(len(running))]
+		in.podKills++
+		in.mu.Unlock()
+		in.cluster.KillPod(victim, "ChaosKill")
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/rpc"
+	"github.com/ffdl/ffdl/internal/sched"
+)
+
+// RPC message types (gob-encoded).
+
+// SubmitArgs submits a job.
+type SubmitArgs struct{ Manifest Manifest }
+
+// SubmitReply returns the assigned job id.
+type SubmitReply struct{ JobID string }
+
+// JobArgs addresses one job.
+type JobArgs struct{ JobID string }
+
+// StatusReply returns status and history.
+type StatusReply struct {
+	JobID   string
+	Status  JobStatus
+	History []StatusEntry
+}
+
+// ListArgs filters jobs by user ("" = all).
+type ListArgs struct{ User string }
+
+// ListReply returns job records.
+type ListReply struct{ Jobs []JobRecord }
+
+// LogsArgs requests a job's logs; Follow streams live lines.
+type LogsArgs struct {
+	JobID  string
+	Follow bool
+	Search string
+}
+
+// LogItem is one streamed log line.
+type LogItem struct{ Line LogLine }
+
+// apiReplica is one instance of the API microservice. The paper runs
+// these as a replica set behind the K8s service registry; here each
+// replica is an RPC server registered into the shared Registry, with
+// crash/restart modeling for Table 3.
+type apiReplica struct {
+	p     *Platform
+	index int
+	lcm   *rpc.Balancer
+
+	srv  *rpc.Server
+	addr string
+}
+
+func newAPIReplica(p *Platform, index int) (*apiReplica, error) {
+	a := &apiReplica{p: p, index: index, lcm: rpc.NewBalancer(p.Registry, ServiceLCM)}
+	if err := a.listen(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *apiReplica) listen() error {
+	srv := rpc.NewServer()
+	srv.Register("API.Submit", SubmitArgs{}, a.handleSubmit)
+	srv.Register("API.Status", JobArgs{}, a.handleStatus)
+	srv.Register("API.List", ListArgs{}, a.handleList)
+	srv.Register("API.Halt", JobArgs{}, a.control(controlHalt))
+	srv.Register("API.Resume", JobArgs{}, a.control(controlResume))
+	srv.Register("API.Terminate", JobArgs{}, a.control(controlTerminate))
+	srv.RegisterStream("API.Logs", LogsArgs{}, a.handleLogs)
+	addr, err := srv.Listen()
+	if err != nil {
+		return fmt.Errorf("core: api replica %d: %w", a.index, err)
+	}
+	a.srv, a.addr = srv, addr
+	a.p.Registry.Add(ServiceAPI, addr)
+	return nil
+}
+
+// handleSubmit stores metadata durably BEFORE acknowledging: "the API
+// layer stores all the metadata in MongoDB before acknowledging the
+// request. This ensures that submitted jobs are never lost" (§3.2).
+func (a *apiReplica) handleSubmit(_ context.Context, arg any) (any, error) {
+	req := arg.(SubmitArgs)
+	m := req.Manifest
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	jobID := a.p.nextJobID()
+	if adm := a.p.cfg.Admission; adm != nil {
+		dec, err := adm.Admit(manifestGang(&m, jobID))
+		if dec == sched.Reject {
+			return nil, fmt.Errorf("core: admission rejected job: %w", err)
+		}
+	}
+	now := a.p.clock.Now()
+	doc := manifestToDoc(m)
+	doc["_id"] = jobID
+	doc["status"] = string(StatusPending)
+	doc["submitted"] = now.Format(time.RFC3339Nano)
+	doc["history"] = []any{map[string]any{
+		"status": string(StatusPending), "time": now.Format(time.RFC3339Nano),
+		"message": "job submitted",
+	}}
+	if _, err := a.p.Jobs.Insert(doc); err != nil {
+		return nil, fmt.Errorf("core: persist job: %w", err)
+	}
+	// Hand off to the LCM asynchronously; if every LCM replica is down
+	// the LCM recovery loop will pick the job up from MongoDB later.
+	go a.deployWithRetry(jobID)
+	return SubmitReply{JobID: jobID}, nil
+}
+
+func (a *apiReplica) deployWithRetry(jobID string) {
+	for attempt := 0; attempt < 50; attempt++ {
+		err := a.lcm.Call(context.Background(), "LCM.Deploy", JobArgs{JobID: jobID}, nil)
+		if err == nil {
+			return
+		}
+		select {
+		case <-a.p.stopCh:
+			return
+		case <-a.p.clock.After(a.p.cfg.PollInterval * 4):
+		}
+	}
+}
+
+func (a *apiReplica) handleStatus(_ context.Context, arg any) (any, error) {
+	req := arg.(JobArgs)
+	doc, err := a.p.Jobs.FindOne(mongo.Filter{"_id": req.JobID})
+	if err != nil {
+		return nil, fmt.Errorf("core: job %s: %w", req.JobID, err)
+	}
+	rec := docToRecord(doc)
+	return StatusReply{JobID: rec.ID, Status: rec.Status, History: rec.History}, nil
+}
+
+func (a *apiReplica) handleList(_ context.Context, arg any) (any, error) {
+	req := arg.(ListArgs)
+	filter := mongo.Filter{}
+	if req.User != "" {
+		filter["user"] = req.User
+	}
+	docs := a.p.Jobs.Find(filter, mongo.FindOpts{SortBy: "_id"})
+	reply := ListReply{}
+	for _, d := range docs {
+		reply.Jobs = append(reply.Jobs, docToRecord(d))
+	}
+	return reply, nil
+}
+
+// control routes HALT/RESUME/TERMINATE through the LCM.
+func (a *apiReplica) control(verb string) rpc.Handler {
+	method := map[string]string{
+		controlHalt:      "LCM.Halt",
+		controlResume:    "LCM.Resume",
+		controlTerminate: "LCM.Terminate",
+	}[verb]
+	return func(ctx context.Context, arg any) (any, error) {
+		req := arg.(JobArgs)
+		return nil, a.lcm.Call(ctx, method, req, nil)
+	}
+}
+
+// handleLogs streams a job's collected logs; with Follow it keeps
+// streaming live lines ("Reliable streaming of logs from the job,
+// irrespective of the stage it is in", §2).
+func (a *apiReplica) handleLogs(ctx context.Context, arg any, send func(any) error) error {
+	req := arg.(LogsArgs)
+	var backlog []LogLine
+	if req.Search != "" {
+		backlog = a.p.Metrics.SearchLogs(req.JobID, req.Search)
+	} else {
+		backlog = a.p.Metrics.Logs(req.JobID)
+	}
+	var live <-chan LogLine
+	var cancel func()
+	if req.Follow {
+		// Subscribe before draining the backlog so no line is missed.
+		live, cancel = a.p.Metrics.StreamLogs(req.JobID)
+		defer cancel()
+	}
+	sent := len(backlog)
+	for _, l := range backlog {
+		if err := send(LogItem{Line: l}); err != nil {
+			return err
+		}
+	}
+	if !req.Follow {
+		return nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case l, ok := <-live:
+			if !ok {
+				return nil
+			}
+			if req.Search != "" && !strings.Contains(l.Text, req.Search) {
+				continue
+			}
+			// Drop duplicates that were both in backlog and buffered.
+			if sent > 0 {
+				sent--
+				continue
+			}
+			if err := send(LogItem{Line: l}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// crashAndRestart models a replica crash: the server drops all
+// connections, deregisters, then comes back after the configured
+// restart delay (Table 3: API 3-5s).
+func (a *apiReplica) crashAndRestart() {
+	a.p.Registry.Remove(ServiceAPI, a.addr)
+	a.srv.Close()
+	a.p.Metrics.Inc("api.crashes")
+	a.p.wg.Add(1)
+	go func() {
+		defer a.p.wg.Done()
+		a.p.clock.Sleep(a.p.cfg.APIRestartDelay)
+		select {
+		case <-a.p.stopCh:
+			return
+		default:
+		}
+		if err := a.listen(); err == nil {
+			a.p.Metrics.Inc("api.restarts")
+		}
+	}()
+}
+
+func (a *apiReplica) stop() {
+	a.p.Registry.Remove(ServiceAPI, a.addr)
+	a.srv.Close()
+}
+
+// Client is the typed client for the FfDL API (the CLI in Fig. 1 talks
+// to the same surface).
+type Client struct {
+	api *rpc.Balancer
+}
+
+// NewClient returns a client over the given registry.
+func NewClient(reg *rpc.Registry) *Client {
+	return &Client{api: rpc.NewBalancer(reg, ServiceAPI)}
+}
+
+// Submit submits a training job, returning its id.
+func (c *Client) Submit(ctx context.Context, m Manifest) (string, error) {
+	var reply SubmitReply
+	if err := c.api.Call(ctx, "API.Submit", SubmitArgs{Manifest: m}, &reply); err != nil {
+		return "", err
+	}
+	return reply.JobID, nil
+}
+
+// Status fetches a job's current status and history.
+func (c *Client) Status(ctx context.Context, jobID string) (StatusReply, error) {
+	var reply StatusReply
+	err := c.api.Call(ctx, "API.Status", JobArgs{JobID: jobID}, &reply)
+	return reply, err
+}
+
+// List returns jobs, optionally filtered by user.
+func (c *Client) List(ctx context.Context, user string) ([]JobRecord, error) {
+	var reply ListReply
+	if err := c.api.Call(ctx, "API.List", ListArgs{User: user}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Jobs, nil
+}
+
+// Halt checkpoints and stops a job (HALT/RESUME for hyperparameter
+// tuning, §3.8).
+func (c *Client) Halt(ctx context.Context, jobID string) error {
+	return c.api.Call(ctx, "API.Halt", JobArgs{JobID: jobID}, nil)
+}
+
+// Resume restarts a halted job from its latest checkpoint.
+func (c *Client) Resume(ctx context.Context, jobID string) error {
+	return c.api.Call(ctx, "API.Resume", JobArgs{JobID: jobID}, nil)
+}
+
+// Terminate cancels a job.
+func (c *Client) Terminate(ctx context.Context, jobID string) error {
+	return c.api.Call(ctx, "API.Terminate", JobArgs{JobID: jobID}, nil)
+}
+
+// Logs fetches a job's collected logs.
+func (c *Client) Logs(ctx context.Context, jobID string) ([]LogLine, error) {
+	return c.logs(ctx, LogsArgs{JobID: jobID})
+}
+
+// SearchLogs fetches log lines matching a substring.
+func (c *Client) SearchLogs(ctx context.Context, jobID, substr string) ([]LogLine, error) {
+	return c.logs(ctx, LogsArgs{JobID: jobID, Search: substr})
+}
+
+func (c *Client) logs(ctx context.Context, args LogsArgs) ([]LogLine, error) {
+	sr, err := c.api.Stream(ctx, "API.Logs", args)
+	if err != nil {
+		return nil, err
+	}
+	defer sr.Close()
+	var out []LogLine
+	for {
+		var item LogItem
+		err := sr.Recv(&item)
+		if errors.Is(err, rpc.ErrStreamDone) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, item.Line)
+	}
+}
+
+// FollowLogs streams live logs until ctx is cancelled, invoking fn per
+// line.
+func (c *Client) FollowLogs(ctx context.Context, jobID string, fn func(LogLine)) error {
+	sr, err := c.api.Stream(ctx, "API.Logs", LogsArgs{JobID: jobID, Follow: true})
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	for {
+		var item LogItem
+		err := sr.Recv(&item)
+		if errors.Is(err, rpc.ErrStreamDone) || errors.Is(err, rpc.ErrCanceled) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(item.Line)
+	}
+}
+
+// WaitForStatus polls until the job reaches the target status (or any
+// terminal status), returning the final observed status.
+func (c *Client) WaitForStatus(ctx context.Context, jobID string, target JobStatus, poll time.Duration) (JobStatus, error) {
+	for {
+		reply, err := c.Status(ctx, jobID)
+		if err == nil {
+			if reply.Status == target || reply.Status.Terminal() {
+				return reply.Status, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

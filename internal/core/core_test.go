@@ -1,0 +1,571 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/perf"
+)
+
+// newTestPlatform boots a small FfDL with 2 nodes x 4 K80 GPUs and a
+// seeded dataset.
+func newTestPlatform(t *testing.T, mutate func(*Config)) *Platform {
+	t.Helper()
+	cfg := Config{
+		Seed:              42,
+		PollInterval:      2 * time.Millisecond,
+		RendezvousTimeout: 10 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	t.Cleanup(p.Stop)
+	for _, n := range []string{"node0", "node1"} {
+		p.AddNode(n, "K80", 4, 32, 256<<10)
+	}
+	p.Store.EnsureBucket("datasets")
+	if err := p.Store.Put("datasets", "mnist/shard-0", bytes.Repeat([]byte{1}, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testManifest() Manifest {
+	return Manifest{
+		Name: "test-train", User: "alice",
+		Framework: perf.Caffe, Model: perf.VGG16,
+		Learners: 1, GPUsPerLearner: 1, GPUType: perf.K80,
+		BatchSize: 64, Iterations: 30, CheckpointEvery: 10,
+		DataBucket: "datasets", DataPrefix: "mnist/",
+		Command: "caffe train -solver solver.prototxt",
+	}
+}
+
+func waitStatus(t *testing.T, c *Client, jobID string, want JobStatus, timeout time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	got, err := c.WaitForStatus(ctx, jobID, want, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("waiting for %s: %v", want, err)
+	}
+	if got != want {
+		reply, _ := c.Status(context.Background(), jobID)
+		t.Fatalf("job %s reached %s, want %s (history: %+v)", jobID, got, want, reply.History)
+	}
+}
+
+func TestSingleLearnerJobCompletes(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	jobID, err := c.Submit(context.Background(), testManifest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 20*time.Second)
+
+	// Status history must walk the DL-specific states in order.
+	reply, err := c.Status(context.Background(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []JobStatus
+	for _, h := range reply.History {
+		seen = append(seen, h.Status)
+	}
+	wantOrder := []JobStatus{StatusPending, StatusDeploying, StatusCompleted}
+	idx := 0
+	progress := false
+	for _, s := range seen {
+		if idx < len(wantOrder) && s == wantOrder[idx] {
+			idx++
+		}
+		if s == StatusDownloading || s == StatusProcessing || s == StatusStoring {
+			progress = true
+		}
+	}
+	if idx != len(wantOrder) {
+		t.Fatalf("history %v missing expected order %v", seen, wantOrder)
+	}
+	if !progress {
+		t.Fatalf("history %v shows no DL-specific progress status", seen)
+	}
+	// Timestamps are monotone.
+	for i := 1; i < len(reply.History); i++ {
+		if reply.History[i].Time.Before(reply.History[i-1].Time) {
+			t.Fatal("history timestamps not monotone")
+		}
+	}
+	// Model stored in the default results bucket.
+	if _, err := p.Store.Get("ffdl-results", jobID+"/model/final.bin"); err != nil {
+		t.Fatalf("trained model missing: %v", err)
+	}
+	// Training logs collected and stored.
+	logs, err := c.Logs(context.Background(), jobID)
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("logs = %d lines, err=%v", len(logs), err)
+	}
+	if _, err := p.Store.Get("ffdl-results", jobID+"/logs/training.log"); err != nil {
+		t.Fatalf("stored logs missing: %v", err)
+	}
+	// Job's etcd subtree erased after termination (§3.2).
+	kvs, _ := p.Etcd.List("jobs/" + jobID + "/")
+	if len(kvs) != 0 {
+		t.Fatalf("etcd not cleaned: %v", kvs)
+	}
+	// GPUs released.
+	alloc, _ := p.Kube.GPUUtilization()
+	if alloc != 0 {
+		t.Fatalf("GPUs still allocated: %d", alloc)
+	}
+}
+
+func TestDistributedJobCompletes(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	m := testManifest()
+	m.Learners = 3
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 30*time.Second)
+	// All three learners logged.
+	logs, _ := c.Logs(context.Background(), jobID)
+	learnersSeen := map[int]bool{}
+	for _, l := range logs {
+		learnersSeen[l.Learner] = true
+	}
+	for i := 0; i < 3; i++ {
+		if !learnersSeen[i] {
+			t.Fatalf("no logs from learner %d", i)
+		}
+	}
+}
+
+func TestJobQueuedWhenClusterFull(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 1e-4 // first job must actually hold the GPUs
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Learners = 2
+	m.GPUsPerLearner = 4 // consumes the whole cluster
+	m.Iterations = 2000
+	first, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, first, StatusProcessing, 20*time.Second)
+
+	second, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job must sit in DEPLOYING with zero learners bound (fully
+	// queued, not partially placed).
+	time.Sleep(300 * time.Millisecond)
+	reply, err := c.Status(context.Background(), second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Status != StatusDeploying {
+		t.Fatalf("second job status = %s, want DEPLOYING (queued)", reply.Status)
+	}
+	for _, pod := range p.Kube.Store().ListPods("learner-" + second + "-") {
+		if pod.Status.Node != "" {
+			t.Fatalf("queued job has bound learner %s", pod.Name)
+		}
+	}
+	// Free the cluster; the queued job must start.
+	if err := c.Terminate(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, second, StatusProcessing, 20*time.Second)
+	if err := c.Terminate(context.Background(), second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnerCrashRecoversFromCheckpoint(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 2e-5 // ~20µs per modeled second: job runs ~0.3s
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 400
+	m.CheckpointEvery = 50
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusProcessing, 20*time.Second)
+	// Wait for at least one checkpoint, then crash the learner pod.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		objs, _ := p.Store.List("ffdl-results", jobID+"/checkpoints/")
+		if len(objs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	podName := "learner-" + jobID + "-0"
+	if !p.Kube.KillPod(podName, "chaos") {
+		t.Fatalf("learner pod %s not found", podName)
+	}
+	// The stateful set restarts the learner; it must resume and finish.
+	waitStatus(t, c, jobID, StatusCompleted, 30*time.Second)
+	logs, _ := c.SearchLogs(context.Background(), jobID, "resuming from checkpoint")
+	if len(logs) == 0 {
+		t.Fatal("restarted learner did not resume from checkpoint")
+	}
+}
+
+func TestGuardianCrashRollsBackAndRedeploys(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 5e-5
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 2000
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusProcessing, 20*time.Second)
+
+	// Kill the Guardian pod mid-monitoring.
+	pods := p.Kube.Store().ListPods("guardian-" + jobID + "-attempt-")
+	if len(pods) == 0 {
+		t.Fatal("no guardian pod")
+	}
+	if !p.Kube.KillPod(pods[0].Name, "chaos") {
+		t.Fatal("KillPod failed")
+	}
+	p.Metrics.Inc("test.marker")
+	// The kube Job restarts the Guardian, which rolls back and
+	// redeploys; the job must still complete.
+	waitStatus(t, c, jobID, StatusCompleted, 40*time.Second)
+	if p.Metrics.Counter("guardian.rollbacks") == 0 {
+		t.Fatal("restarted guardian did not roll back")
+	}
+}
+
+func TestAPIReplicaCrashDoesNotInterruptService(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	jobID, err := c.Submit(context.Background(), testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CrashAPI(0) {
+		t.Fatal("CrashAPI failed")
+	}
+	// Queries keep working through the surviving replica.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Status(context.Background(), jobID); err != nil {
+			t.Fatalf("status during API crash: %v", err)
+		}
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 20*time.Second)
+	// The crashed replica restarts.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Metrics.Counter("api.restarts") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("API replica never restarted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubmissionSurvivesLCMOutage(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	// Crash both LCM replicas, then submit: the job must persist as
+	// PENDING and deploy once an LCM returns.
+	p.CrashLCM(0)
+	p.CrashLCM(1)
+	jobID, err := c.Submit(context.Background(), testManifest())
+	if err != nil {
+		t.Fatalf("submit during LCM outage: %v", err)
+	}
+	reply, err := c.Status(context.Background(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Status != StatusPending && !reply.Status.Terminal() {
+		// It may already be past PENDING if an LCM restarted quickly;
+		// either way it must eventually complete.
+		t.Logf("status right after submit: %s", reply.Status)
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 30*time.Second)
+}
+
+func TestHaltAndResume(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 2e-5
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 600
+	m.CheckpointEvery = 50
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusProcessing, 20*time.Second)
+	// Let it checkpoint, then halt.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		objs, _ := p.Store.List("ffdl-results", jobID+"/checkpoints/")
+		if len(objs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint before halt")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Halt(context.Background(), jobID); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusHalted, 20*time.Second)
+	// GPUs released while halted.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if alloc, _ := p.Kube.GPUUtilization(); alloc == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			alloc, _ := p.Kube.GPUUtilization()
+			t.Fatalf("halted job still holds %d GPUs", alloc)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Resume(context.Background(), jobID); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 30*time.Second)
+	logs, _ := c.SearchLogs(context.Background(), jobID, "resuming from checkpoint")
+	if len(logs) == 0 {
+		t.Fatal("resumed job did not load its checkpoint")
+	}
+}
+
+func TestTerminatePendingAndRunning(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 1e-4
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 5000
+	running, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, running, StatusProcessing, 20*time.Second)
+	if err := c.Terminate(context.Background(), running); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, running, StatusCanceled, 20*time.Second)
+	alloc, _ := p.Kube.GPUUtilization()
+	if alloc != 0 {
+		t.Fatalf("terminated job still holds %d GPUs", alloc)
+	}
+}
+
+func TestFollowLogsStreamsLive(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 5e-5
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 800
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	lines := make(chan LogLine, 256)
+	go func() {
+		c.FollowLogs(ctx, jobID, func(l LogLine) { //nolint:errcheck
+			select {
+			case lines <- l:
+			default:
+			}
+		})
+	}()
+	select {
+	case l := <-lines:
+		if !strings.Contains(l.Text, jobID) && !strings.Contains(l.Text, "iteration") && !strings.Contains(l.Text, "download") {
+			t.Fatalf("unexpected log line: %q", l.Text)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no live log lines")
+	}
+	cancel()
+	c.Terminate(context.Background(), jobID) //nolint:errcheck
+}
+
+func TestListJobsByUser(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	m1 := testManifest()
+	m2 := testManifest()
+	m2.User = "bob"
+	id1, err := c.Submit(context.Background(), m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(context.Background(), m2); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := c.List(context.Background(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != id1 {
+		t.Fatalf("alice's jobs = %+v", jobs)
+	}
+	all, err := c.List(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("all jobs = %d", len(all))
+	}
+	waitStatus(t, c, id1, StatusCompleted, 20*time.Second)
+}
+
+func TestInvalidManifestRejected(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 0
+	if _, err := c.Submit(context.Background(), m); err == nil {
+		t.Fatal("invalid manifest accepted")
+	}
+	m = testManifest()
+	m.User = ""
+	if _, err := c.Submit(context.Background(), m); err == nil {
+		t.Fatal("manifest without user accepted")
+	}
+}
+
+func TestJobWithMissingDatasetFails(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	m := testManifest()
+	m.DataBucket = "no-such-bucket"
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusFailed, 20*time.Second)
+}
+
+func TestStatusTransitionGuards(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	now := p.clock.Now()
+	doc := manifestToDoc(testManifest())
+	doc["_id"] = "j-guard"
+	doc["status"] = string(StatusCompleted)
+	doc["history"] = []any{map[string]any{"status": string(StatusCompleted), "time": now.Format(time.RFC3339Nano)}}
+	if _, err := p.Jobs.Insert(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.setJobStatus("j-guard", StatusProcessing, "illegal"); err == nil {
+		t.Fatal("terminal status was overwritten")
+	}
+	if _, err := p.Jobs.FindOne(mongo.Filter{"_id": "j-guard", "status": string(StatusCompleted)}); err != nil {
+		t.Fatal("status changed despite guard")
+	}
+}
+
+func TestMongoDocRoundTrip(t *testing.T) {
+	m := testManifest()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := docToManifest(manifestToDoc(m))
+	if back != m {
+		t.Fatalf("manifest round trip mismatch:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestGuardianPodTypeUsedForStartDelay(t *testing.T) {
+	// Verify the platform passes pod types through to kube's start-delay
+	// hook (Table 3's measurement path).
+	seen := make(chan string, 64)
+	p := newTestPlatform(t, func(c *Config) {
+		c.StartDelay = func(podType string) time.Duration {
+			select {
+			case seen <- podType:
+			default:
+			}
+			return 0
+		}
+	})
+	c := p.Client()
+	jobID, err := c.Submit(context.Background(), testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 20*time.Second)
+	types := map[string]bool{}
+	for {
+		select {
+		case ty := <-seen:
+			types[ty] = true
+			continue
+		default:
+		}
+		break
+	}
+	for _, want := range []string{PodTypeGuardian, PodTypeHelper, PodTypeLearner} {
+		if !types[want] {
+			t.Fatalf("start delay never saw pod type %s (saw %v)", want, types)
+		}
+	}
+}
+
+func TestNodeCrashJobRecovers(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 2e-5
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 400
+	m.CheckpointEvery = 50
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusProcessing, 20*time.Second)
+	// Find the learner's node and crash it.
+	pod, ok := p.Kube.Store().GetPod("learner-" + jobID + "-0")
+	if !ok || pod.Status.Node == "" {
+		t.Fatal("learner pod not running")
+	}
+	p.Kube.CrashNode(pod.Status.Node)
+	// Eviction + stateful set recreate on the surviving node; the job
+	// must complete. (The whole job may also be redeployed by the
+	// guardian if the helper died with the node.)
+	waitStatus(t, c, jobID, StatusCompleted, 40*time.Second)
+	nodeFail, _ := p.Kube.DeletionStats()
+	if nodeFail == 0 {
+		t.Fatal("no node-failure deletions recorded")
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/ffdl/ffdl/internal/kube"
+	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/sched"
+)
+
+// The Guardian is FfDL's per-job delegate (§3.3): a Kubernetes Job the
+// LCM creates for every DL job. It executes the multi-step deployment
+// atomically (rolling back partial deployments, including those left by
+// a crashed previous incarnation), then monitors the job to completion.
+// Because it runs as a K8s Job, kube restarts it automatically on any
+// crash, and FfDL's dependability story reduces to "the Guardian's
+// steps are idempotent and roll back".
+
+// runGuardian is the Guardian pod's process.
+func (p *Platform) runGuardian(ctx *kube.PodContext) int {
+	jobID := ctx.Pod.Spec.RuntimeArgs["job"]
+	if jobID == "" {
+		return 1
+	}
+	doc, err := p.Jobs.FindOne(mongo.Filter{"_id": jobID})
+	if err != nil {
+		return 1 // metadata gone; let the Job back off
+	}
+	rec := docToRecord(doc)
+	if rec.Status.Terminal() {
+		// Restarted after the job finished: just make sure nothing
+		// lingers.
+		p.teardownJob(jobID)
+		return 0
+	}
+
+	// Roll back whatever a crashed predecessor half-deployed: "The
+	// restarted Guardian will roll back the previous partially deployed
+	// DL job and start a fresh deployment process" (§3.3).
+	if ctx.Pod.Status.Restarts > 0 || p.hasDeployedObjects(jobID) {
+		p.rollbackJob(jobID)
+		p.Metrics.Inc("guardian.rollbacks")
+	}
+
+	// Deploy with bounded retries.
+	var deployErr error
+	for attempt := 1; attempt <= p.cfg.DeployAttempts; attempt++ {
+		select {
+		case <-ctx.Stop:
+			return 137
+		default:
+		}
+		deployErr = p.deployJob(jobID, rec.Manifest)
+		if deployErr == nil {
+			break
+		}
+		p.rollbackJob(jobID)
+		p.Metrics.Inc("guardian.deploy_retries")
+	}
+	if deployErr != nil {
+		p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("deployment failed after %d attempts: %v", p.cfg.DeployAttempts, deployErr)) //nolint:errcheck
+		p.teardownJob(jobID)
+		return 0
+	}
+	return p.monitorJob(ctx, jobID, rec.Manifest)
+}
+
+// hasDeployedObjects reports whether any of the job's kube objects
+// exist (evidence of a partial prior deployment).
+func (p *Platform) hasDeployedObjects(jobID string) bool {
+	st := p.Kube.Store()
+	if _, ok := st.Get(kube.KindStatefulSet, learnerSetName(jobID)); ok {
+		return true
+	}
+	if _, ok := st.Get(kube.KindDeployment, helperDeployName(jobID)); ok {
+		return true
+	}
+	if _, ok := st.Get(kube.KindNetworkPolicy, netpolName(jobID)); ok {
+		return true
+	}
+	return false
+}
+
+// deployJob performs the multi-step provisioning (§3.3): shared volume,
+// network policy, helper pod, then the learner stateful set with gang
+// information. Any error leaves rollback to the caller.
+func (p *Platform) deployJob(jobID string, m Manifest) error {
+	if err := p.setJobStatus(jobID, StatusDeploying, "guardian deploying job"); err != nil {
+		return err
+	}
+	// Step 1: shared NFS volume (the helper<->learner channel).
+	vol, err := p.NFS.Provision(jobID)
+	if err != nil {
+		return fmt.Errorf("provision volume: %w", err)
+	}
+	// Step 2: data-plane handles.
+	if m.ResultBucket == "" {
+		m.ResultBucket = "ffdl-results"
+	}
+	p.Store.EnsureBucket(m.ResultBucket)
+	var mount *jobMount
+	if m.DataBucket != "" {
+		mount = &jobMount{bucket: m.DataBucket}
+	}
+	res := &jobResources{manifest: m, volume: vol}
+	if mount != nil {
+		res.mount = p.Store.NewMount(m.DataBucket, 256<<20)
+	}
+	p.putResources(jobID, res)
+
+	st := p.Kube.Store()
+	// Step 3: network isolation (§3.3: "applying K8S policies to
+	// restrict network access from the learner in a multi-tenant
+	// environment").
+	st.Put(kube.KindNetworkPolicy, netpolName(jobID), &kube.NetworkPolicy{
+		Name: netpolName(jobID), JobID: jobID, AllowWithinJob: true,
+	})
+	// Step 4: helper pod (controller, load-data, store-results,
+	// log-collector), deployed separately from the learners (§3.8).
+	st.Put(kube.KindDeployment, helperDeployName(jobID), &kube.Deployment{
+		Name: helperDeployName(jobID), Replicas: 1,
+		Template: kube.PodSpec{
+			Demand:      sched.Resources{MilliCPU: 500, MemoryMB: 512},
+			Runtime:     runtimeHelper,
+			RuntimeArgs: map[string]string{"job": jobID},
+			Type:        PodTypeHelper,
+			JobID:       jobID,
+		},
+	})
+	// Step 5: learners as a stateful set carrying gang name + size.
+	st.Put(kube.KindStatefulSet, learnerSetName(jobID), &kube.StatefulSet{
+		Name: learnerSetName(jobID), Replicas: m.Learners,
+		Template: kube.PodSpec{
+			Demand:      m.LearnerDemand(),
+			GPUType:     string(m.GPUType),
+			JobID:       jobID,
+			GangSize:    m.Learners,
+			Runtime:     runtimeLearner,
+			RuntimeArgs: map[string]string{"job": jobID},
+			Type:        PodTypeLearner,
+		},
+	})
+	return nil
+}
+
+// jobMount is a small holder used during deployment.
+type jobMount struct{ bucket string }
+
+// rollbackJob deletes every deployed object of a job, releasing
+// resources so a fresh deployment (or nothing) remains — "there should
+// not be an inactive job component with allocated resources (i.e. a
+// zombie)" (§3.3).
+func (p *Platform) rollbackJob(jobID string) {
+	st := p.Kube.Store()
+	st.Delete(kube.KindStatefulSet, learnerSetName(jobID))
+	st.Delete(kube.KindDeployment, helperDeployName(jobID))
+	st.Delete(kube.KindNetworkPolicy, netpolName(jobID))
+	if res, ok := p.getResources(jobID); ok {
+		p.NFS.Release(res.volume)
+		p.dropResources(jobID)
+	}
+	// Clear any stale coordination state so the next deployment starts
+	// clean (but keep the control key: HALT/TERMINATE must survive).
+	p.Etcd.DeletePrefix(keyJobPrefix(jobID) + "learners/") //nolint:errcheck
+	p.Etcd.Delete(keyDone(jobID))                          //nolint:errcheck
+}
+
+// teardownJob removes all traces of a finished job: kube objects, the
+// NFS volume and its etcd subtree ("a DL job's data is erased after it
+// terminates", §3.2). MongoDB keeps the status history.
+func (p *Platform) teardownJob(jobID string) {
+	p.rollbackJob(jobID)
+	p.Etcd.DeletePrefix(keyJobPrefix(jobID)) //nolint:errcheck
+}
+
+// monitorJob is the Guardian's steady-state loop: aggregate learner
+// statuses from etcd into the job status in MongoDB, and react to
+// control verbs and completion.
+func (p *Platform) monitorJob(ctx *kube.PodContext, jobID string, m Manifest) int {
+	ticker := p.clock.NewTicker(p.cfg.PollInterval)
+	defer ticker.Stop()
+	halted := false
+	for {
+		select {
+		case <-ctx.Stop:
+			return 137 // guardian killed; kube restarts it
+		case <-ticker.C:
+		}
+
+		// Control verbs.
+		if kv, ok, _ := p.Etcd.Get(keyControl(jobID)); ok {
+			switch string(kv.Value) {
+			case controlTerminate:
+				p.setJobStatus(jobID, StatusCanceled, "terminated by user") //nolint:errcheck
+				p.teardownJob(jobID)
+				return 0
+			case controlHalt:
+				if !halted {
+					halted = true
+					p.Kube.Store().Delete(kube.KindStatefulSet, learnerSetName(jobID))
+					p.Etcd.DeletePrefix(keyJobPrefix(jobID) + "learners/")                     //nolint:errcheck
+					p.setJobStatus(jobID, StatusHalted, "halted by user; checkpoint retained") //nolint:errcheck
+				}
+			case controlResume:
+				if halted {
+					halted = false
+					p.setJobStatus(jobID, StatusResumed, "resumed from latest checkpoint") //nolint:errcheck
+					st := p.Kube.Store()
+					st.Put(kube.KindStatefulSet, learnerSetName(jobID), &kube.StatefulSet{
+						Name: learnerSetName(jobID), Replicas: m.Learners,
+						Template: kube.PodSpec{
+							Demand:      m.LearnerDemand(),
+							GPUType:     string(m.GPUType),
+							JobID:       jobID,
+							GangSize:    m.Learners,
+							Runtime:     runtimeLearner,
+							RuntimeArgs: map[string]string{"job": jobID},
+							Type:        PodTypeLearner,
+						},
+					})
+				}
+			}
+		}
+		if halted {
+			continue
+		}
+
+		// Completion.
+		if kv, ok, _ := p.Etcd.Get(keyDone(jobID)); ok {
+			code, _ := strconv.Atoi(string(kv.Value))
+			if code == 0 {
+				p.setJobStatus(jobID, StatusStoring, "storing trained model and logs") //nolint:errcheck
+				p.setJobStatus(jobID, StatusCompleted, "training completed")           //nolint:errcheck
+			} else {
+				p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("learner failed with exit code %d", code)) //nolint:errcheck
+			}
+			p.teardownJob(jobID)
+			return 0
+		}
+
+		// Aggregate learner statuses: the job is as far along as its
+		// slowest learner ("The Guardian aggregates the statuses of
+		// each learner to record the overall status of the job in
+		// MongoDB", §3.8).
+		agg, ok := p.aggregateLearnerStatus(jobID, m.Learners)
+		if ok {
+			p.setJobStatus(jobID, agg, "aggregated from learner statuses") //nolint:errcheck
+		}
+	}
+}
+
+// aggregateLearnerStatus folds per-learner etcd statuses into one job
+// status.
+func (p *Platform) aggregateLearnerStatus(jobID string, learners int) (JobStatus, bool) {
+	kvs, err := p.Etcd.List(keyJobPrefix(jobID) + "learners/")
+	if err != nil || len(kvs) == 0 {
+		return "", false
+	}
+	worst := statusRank(StatusCompleted) + 1
+	seen := 0
+	for _, kv := range kvs {
+		var st JobStatus
+		switch string(kv.Value) {
+		case "DOWNLOADING", "WAITING_FOR_PEERS":
+			st = StatusDownloading
+		case "PROCESSING":
+			st = StatusProcessing
+		case "STORING", "COMPLETED":
+			st = StatusStoring
+		case "FAILED":
+			// Failure is surfaced through the done key with its exit
+			// code; ignore here.
+			continue
+		default:
+			continue
+		}
+		seen++
+		if r := statusRank(st); r < worst {
+			worst = r
+		}
+	}
+	if seen < learners {
+		// Not all learners reporting yet: stay in DEPLOYING.
+		return "", false
+	}
+	switch worst {
+	case statusRank(StatusDownloading):
+		return StatusDownloading, true
+	case statusRank(StatusProcessing):
+		return StatusProcessing, true
+	case statusRank(StatusStoring):
+		return StatusStoring, true
+	default:
+		return "", false
+	}
+}

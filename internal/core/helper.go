@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ffdl/ffdl/internal/kube"
+)
+
+// The helper pod (§3.8) contains four logical containers sharing the
+// job's NFS volume with the learners:
+//
+//   - load-data: validates access to the training data,
+//   - controller: reads learner status/exit files from the volume and
+//     records them in etcd, detecting completion and failure,
+//   - log-collector: tails learner stdout into the Training Metrics
+//     Service,
+//   - store-results: copies collected logs/results to the user's
+//     result bucket when the job finishes.
+//
+// It is deployed separately from the learners so it survives learner
+// crashes, and all its observations flow through (NFS, etcd) making
+// status updates resilient to both controller and Guardian crashes.
+
+// runHelper is the helper pod's process.
+func (p *Platform) runHelper(ctx *kube.PodContext) int {
+	jobID := ctx.Pod.Spec.RuntimeArgs["job"]
+	res, ok := p.getResources(jobID)
+	if !ok {
+		return 1 // torn down before we started
+	}
+	m := res.manifest
+
+	// load-data: verify the dataset is reachable with the job's
+	// credentials, so data problems surface before GPUs are wasted.
+	if m.DataBucket != "" {
+		if _, err := p.Store.List(m.DataBucket, m.DataPrefix); err != nil {
+			p.Metrics.AppendLog(LogLine{
+				JobID: jobID, Learner: -1, Time: p.clock.Now(),
+				Text: fmt.Sprintf("[load-data] dataset inaccessible: %v", err),
+			})
+			p.Etcd.Put(keyDone(jobID), []byte("3"), 0) //nolint:errcheck
+			<-ctx.Stop
+			return 137
+		}
+		res.volume.WriteFile("helper/data-ready", []byte("1")) //nolint:errcheck
+	}
+
+	lastStatus := make(map[int]string)
+	exitSeen := make(map[int]int)
+	logOffsets := make(map[int]int)
+	doneWritten := false
+
+	ticker := p.clock.NewTicker(p.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Stop:
+			return 137
+		case <-ticker.C:
+		}
+
+		// controller: mirror learner volume files into etcd.
+		for ord := 0; ord < m.Learners; ord++ {
+			statusPath := fmt.Sprintf("learners/%d/status", ord)
+			if data, err := res.volume.ReadFile(statusPath); err == nil {
+				if s := string(data); s != lastStatus[ord] {
+					lastStatus[ord] = s
+					p.Etcd.Put(keyLearnerStatus(jobID, ord), data, 0) //nolint:errcheck
+				}
+			}
+			exitPath := fmt.Sprintf("learners/%d/exit", ord)
+			if _, seen := exitSeen[ord]; !seen {
+				if data, err := res.volume.ReadFile(exitPath); err == nil {
+					code, convErr := strconv.Atoi(strings.TrimSpace(string(data)))
+					if convErr == nil {
+						exitSeen[ord] = code
+						p.Etcd.Put(keyLearnerExit(jobID, ord), data, 0) //nolint:errcheck
+					}
+				}
+			}
+			// log-collector: ship new stdout lines to the metrics
+			// service.
+			p.collectLogs(jobID, ord, res, logOffsets)
+		}
+
+		if doneWritten {
+			continue
+		}
+		// Failure fast-path: any graceful nonzero exit fails the job.
+		for _, code := range exitSeen {
+			if code != 0 {
+				p.storeResults(jobID, m)
+				p.Etcd.Put(keyDone(jobID), []byte(strconv.Itoa(code)), 0) //nolint:errcheck
+				doneWritten = true
+				break
+			}
+		}
+		if !doneWritten && len(exitSeen) == m.Learners {
+			// store-results, then signal completion.
+			p.storeResults(jobID, m)
+			p.Etcd.Put(keyDone(jobID), []byte("0"), 0) //nolint:errcheck
+			doneWritten = true
+		}
+	}
+}
+
+// collectLogs tails one learner's stdout from the shared volume.
+func (p *Platform) collectLogs(jobID string, ord int, res *jobResources, offsets map[int]int) {
+	logPath := fmt.Sprintf("learners/%d/stdout.log", ord)
+	data, err := res.volume.ReadFile(logPath)
+	if err != nil {
+		return
+	}
+	off := offsets[ord]
+	if len(data) <= off {
+		return
+	}
+	chunk := string(data[off:])
+	consumed := strings.LastIndexByte(chunk, '\n') + 1
+	if consumed == 0 {
+		return // partial line; wait for more
+	}
+	offsets[ord] = off + consumed
+	for _, line := range strings.Split(strings.TrimRight(chunk[:consumed], "\n"), "\n") {
+		p.Metrics.AppendLog(LogLine{JobID: jobID, Learner: ord, Time: p.clock.Now(), Text: line})
+	}
+}
+
+// storeResults copies the job's collected logs to the result bucket —
+// the store-results container's final act.
+func (p *Platform) storeResults(jobID string, m Manifest) {
+	bucket := m.ResultBucket
+	if bucket == "" {
+		bucket = "ffdl-results"
+	}
+	var sb strings.Builder
+	for _, line := range p.Metrics.Logs(jobID) {
+		sb.WriteString(line.Text)
+		sb.WriteByte('\n')
+	}
+	p.Store.EnsureBucket(bucket)
+	p.Store.Put(bucket, jobID+"/logs/training.log", []byte(sb.String())) //nolint:errcheck
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/ffdl/ffdl/internal/kube"
+	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/rpc"
+	"github.com/ffdl/ffdl/internal/sched"
+)
+
+// lcmReplica is one Lifecycle Manager instance. "The LCM is responsible
+// for the job from submission to completion or failure" (§3.3), but it
+// delegates the multi-step deployment to a per-job Guardian (a K8s Job)
+// so the LCM itself stays stateless and crash-tolerant.
+type lcmReplica struct {
+	p     *Platform
+	index int
+
+	srv  *rpc.Server
+	addr string
+}
+
+func newLCMReplica(p *Platform, index int) (*lcmReplica, error) {
+	l := &lcmReplica{p: p, index: index}
+	if err := l.listen(); err != nil {
+		return nil, err
+	}
+	if index == 0 {
+		// One logical recovery loop: re-launch Guardians for PENDING
+		// jobs whose deployment hand-off was lost (API crash between
+		// persist and deploy). Every replica could run this safely —
+		// guardian creation is idempotent — but one keeps logs quiet.
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			l.recoveryLoop()
+		}()
+	}
+	return l, nil
+}
+
+func (l *lcmReplica) listen() error {
+	srv := rpc.NewServer()
+	srv.Register("LCM.Deploy", JobArgs{}, l.handleDeploy)
+	srv.Register("LCM.Halt", JobArgs{}, l.handleControl(controlHalt))
+	srv.Register("LCM.Resume", JobArgs{}, l.handleControl(controlResume))
+	srv.Register("LCM.Terminate", JobArgs{}, l.handleTerminate)
+	addr, err := srv.Listen()
+	if err != nil {
+		return fmt.Errorf("core: lcm replica %d: %w", l.index, err)
+	}
+	l.srv, l.addr = srv, addr
+	l.p.Registry.Add(ServiceLCM, addr)
+	return nil
+}
+
+// handleDeploy creates the job's Guardian: "The LCM simply instantiates
+// this delegate called the Guardian with all the metadata of the DL
+// job ... a K8S Job ... a very quick single step process" (§3.3).
+func (l *lcmReplica) handleDeploy(_ context.Context, arg any) (any, error) {
+	req := arg.(JobArgs)
+	return nil, l.ensureGuardian(req.JobID)
+}
+
+func (l *lcmReplica) ensureGuardian(jobID string) error {
+	if _, err := l.p.Jobs.FindOne(mongo.Filter{"_id": jobID}); err != nil {
+		return fmt.Errorf("core: deploy unknown job %s: %w", jobID, err)
+	}
+	name := guardianJobName(jobID)
+	if _, exists := l.p.Kube.Store().Get(kube.KindJob, name); exists {
+		return nil // idempotent
+	}
+	l.p.Kube.Store().Put(kube.KindJob, name, &kube.Job{
+		Name:         name,
+		BackoffLimit: 20, // guardians are cheap; keep retrying
+		Template: kube.PodSpec{
+			// "Guardians consume only a fraction of a CPU and need
+			// little RAM" (§3.7).
+			Demand:      sched.Resources{MilliCPU: 100, MemoryMB: 128},
+			Runtime:     runtimeGuardian,
+			RuntimeArgs: map[string]string{"job": jobID},
+			Type:        PodTypeGuardian,
+		},
+	})
+	return nil
+}
+
+// handleControl writes HALT/RESUME to the job's etcd control key, where
+// its Guardian observes it.
+func (l *lcmReplica) handleControl(verb string) rpc.Handler {
+	return func(_ context.Context, arg any) (any, error) {
+		req := arg.(JobArgs)
+		status, err := l.p.jobStatus(req.JobID)
+		if err != nil {
+			return nil, err
+		}
+		if status.Terminal() {
+			return nil, fmt.Errorf("core: job %s already %s", req.JobID, status)
+		}
+		_, err = l.p.Etcd.Put(keyControl(req.JobID), []byte(verb), 0)
+		return nil, err
+	}
+}
+
+// handleTerminate cancels a job at whatever stage it is in.
+func (l *lcmReplica) handleTerminate(_ context.Context, arg any) (any, error) {
+	req := arg.(JobArgs)
+	status, err := l.p.jobStatus(req.JobID)
+	if err != nil {
+		return nil, err
+	}
+	if status.Terminal() {
+		return nil, nil
+	}
+	if status == StatusPending {
+		// No guardian yet: cancel directly.
+		return nil, l.p.setJobStatus(req.JobID, StatusCanceled, "terminated by user before deployment")
+	}
+	_, err = l.p.Etcd.Put(keyControl(req.JobID), []byte(controlTerminate), 0)
+	return nil, err
+}
+
+// recoveryLoop re-deploys PENDING jobs that have no Guardian. This is
+// the "in the case of a failure that necessitates that the entire job
+// be restarted, information stored in MongoDB can be used readily
+// without the need for user intervention" path (§3.2).
+func (l *lcmReplica) recoveryLoop() {
+	ticker := l.p.clock.NewTicker(l.p.cfg.PollInterval * 10)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.p.stopCh:
+			return
+		case <-ticker.C:
+			docs := l.p.Jobs.Find(mongo.Filter{"status": string(StatusPending)}, mongo.FindOpts{})
+			for _, d := range docs {
+				id, _ := d["_id"].(string)
+				if id != "" {
+					l.ensureGuardian(id) //nolint:errcheck // retried next tick
+				}
+			}
+		}
+	}
+}
+
+// crashAndRestart models an LCM replica crash (Table 3: LCM 4-6s).
+func (l *lcmReplica) crashAndRestart() {
+	l.p.Registry.Remove(ServiceLCM, l.addr)
+	l.srv.Close()
+	l.p.Metrics.Inc("lcm.crashes")
+	l.p.wg.Add(1)
+	go func() {
+		defer l.p.wg.Done()
+		l.p.clock.Sleep(l.p.cfg.LCMRestartDelay)
+		select {
+		case <-l.p.stopCh:
+			return
+		default:
+		}
+		if err := l.listen(); err == nil {
+			l.p.Metrics.Inc("lcm.restarts")
+		}
+	}()
+}
+
+func (l *lcmReplica) stop() {
+	l.p.Registry.Remove(ServiceLCM, l.addr)
+	l.srv.Close()
+}
+
+// manifestGang converts a manifest to the scheduler's gang shape for
+// admission accounting.
+func manifestGang(m *Manifest, jobID string) *sched.Gang {
+	g := &sched.Gang{JobID: jobID, User: m.User}
+	for i := 0; i < m.Learners; i++ {
+		g.Pods = append(g.Pods, sched.PodSpec{
+			Name:    fmt.Sprintf("%s-l%d", jobID, i),
+			JobID:   jobID,
+			Demand:  m.LearnerDemand(),
+			GPUType: string(m.GPUType),
+		})
+	}
+	return g
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ffdl/ffdl/internal/perf"
+	"github.com/ffdl/ffdl/internal/sched"
+)
+
+// Manifest is the user-facing job description (§3.1): "FfDL simply
+// requires data scientists to provide their existing code, command to
+// execute said code, location of data, credentials ..., number of
+// learners, and the resources needed per learner."
+type Manifest struct {
+	// Name is a human label; User owns the job.
+	Name string
+	User string
+
+	// Framework and Command describe the user workload. Command is
+	// opaque to the platform (user code is a black box).
+	Framework perf.Framework
+	Model     perf.Model
+	Command   string
+
+	// Learners is the number of learner processes; GPUsPerLearner and
+	// GPUType pick the hardware. CPUs/MemoryMB default to the t-shirt
+	// size for the GPU configuration when zero (§5.4).
+	Learners       int
+	GPUsPerLearner int
+	GPUType        perf.GPUType
+	CPUs           int
+	MemoryMB       int64
+
+	// Training shape (drives the simulated learner).
+	BatchSize       int
+	Iterations      int
+	CheckpointEvery int
+
+	// Data locations and (placeholder) credentials.
+	DataBucket   string
+	DataPrefix   string
+	ResultBucket string
+	DataCreds    string
+}
+
+// Validate checks the manifest and applies t-shirt defaults.
+func (m *Manifest) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("core: manifest needs a name")
+	}
+	if m.User == "" {
+		return fmt.Errorf("core: manifest needs a user")
+	}
+	if m.Learners <= 0 {
+		m.Learners = 1
+	}
+	if m.GPUsPerLearner < 0 {
+		return fmt.Errorf("core: negative GPUs per learner")
+	}
+	if m.Iterations <= 0 {
+		return fmt.Errorf("core: job needs a positive iteration count")
+	}
+	if m.GPUType == "" {
+		m.GPUType = perf.K80
+	}
+	if m.CPUs == 0 && m.GPUsPerLearner > 0 {
+		size := perf.RecommendSize(m.GPUsPerLearner, m.GPUType)
+		m.CPUs = size.CPU
+		if m.MemoryMB == 0 {
+			m.MemoryMB = int64(size.MemoryGB) * 1024
+		}
+	}
+	if m.CPUs == 0 {
+		m.CPUs = 4
+	}
+	if m.MemoryMB == 0 {
+		m.MemoryMB = 9 * 1024
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 64
+	}
+	return nil
+}
+
+// LearnerDemand is the per-learner resource request.
+func (m *Manifest) LearnerDemand() sched.Resources {
+	return sched.Resources{
+		MilliCPU: int64(m.CPUs) * 1000,
+		MemoryMB: m.MemoryMB,
+		GPUs:     m.GPUsPerLearner,
+	}
+}
+
+// TotalGPUs is the job's aggregate GPU demand.
+func (m *Manifest) TotalGPUs() int { return m.Learners * m.GPUsPerLearner }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// LogLine is one collected learner log line.
+type LogLine struct {
+	JobID   string
+	Learner int
+	Time    time.Time
+	Text    string
+}
+
+// MetricsService is the Training Metrics Service (§3.2): it collects
+// per-job training logs (streamed by the log-collector helpers) into a
+// searchable index — the role ElasticSearch/Kibana plays in the paper's
+// deployment — and counts platform health metrics ("number of times
+// microservices fail and recover, and frequency of connectivity
+// issues").
+type MetricsService struct {
+	mu       sync.Mutex
+	logs     map[string][]LogLine // jobID -> lines
+	counters map[string]int64
+	subs     map[string][]chan LogLine
+}
+
+// NewMetricsService returns an empty service.
+func NewMetricsService() *MetricsService {
+	return &MetricsService{
+		logs:     make(map[string][]LogLine),
+		counters: make(map[string]int64),
+		subs:     make(map[string][]chan LogLine),
+	}
+}
+
+// AppendLog ingests one log line and fans it out to streamers.
+func (m *MetricsService) AppendLog(line LogLine) {
+	m.mu.Lock()
+	m.logs[line.JobID] = append(m.logs[line.JobID], line)
+	subs := m.subs[line.JobID]
+	m.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- line:
+		default:
+		}
+	}
+}
+
+// Logs returns all lines for a job (copy).
+func (m *MetricsService) Logs(jobID string) []LogLine {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LogLine, len(m.logs[jobID]))
+	copy(out, m.logs[jobID])
+	return out
+}
+
+// SearchLogs returns a job's lines containing the substring — the
+// "indexed ... for easy debugging" query path.
+func (m *MetricsService) SearchLogs(jobID, substr string) []LogLine {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []LogLine
+	for _, l := range m.logs[jobID] {
+		if strings.Contains(l.Text, substr) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// StreamLogs subscribes to a job's live log stream.
+func (m *MetricsService) StreamLogs(jobID string) (<-chan LogLine, func()) {
+	ch := make(chan LogLine, 256)
+	m.mu.Lock()
+	m.subs[jobID] = append(m.subs[jobID], ch)
+	m.mu.Unlock()
+	return ch, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		subs := m.subs[jobID]
+		for i, c := range subs {
+			if c == ch {
+				m.subs[jobID] = append(subs[:i], subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+}
+
+// Inc bumps a named counter ("api.restarts", "guardian.rollbacks", ...).
+func (m *MetricsService) Inc(counter string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[counter]++
+}
+
+// Counter reads a named counter.
+func (m *MetricsService) Counter(counter string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[counter]
+}
+
+// Counters returns a snapshot of all counters.
+func (m *MetricsService) Counters() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/etcd"
+	"github.com/ffdl/ffdl/internal/kube"
+	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/nfs"
+	"github.com/ffdl/ffdl/internal/objstore"
+	"github.com/ffdl/ffdl/internal/rpc"
+	"github.com/ffdl/ffdl/internal/sched"
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// Pod type labels used across the platform (they key container start
+// delays and the failure analytics of Table 8 / Fig. 6).
+const (
+	PodTypeLearner  = "learner"
+	PodTypeHelper   = "lhelper"
+	PodTypeGuardian = "jobmonitor"
+)
+
+// Service names in the RPC registry.
+const (
+	ServiceAPI = "ffdl-api"
+	ServiceLCM = "ffdl-lcm"
+)
+
+// Config parameterizes a Platform.
+type Config struct {
+	// Clock drives everything; defaults to wall clock.
+	Clock sim.Clock
+	// Seed makes the platform deterministic where randomness is used.
+	Seed int64
+
+	// Replication factors. Defaults: 2 API, 2 LCM, 3 etcd.
+	APIReplicas  int
+	LCMReplicas  int
+	EtcdReplicas int
+
+	// GangScheduling enables the BSA gang scheduler (on by default, as
+	// in production FfDL); Pack chooses packing placement for non-gang
+	// pods (default true).
+	GangScheduling *bool
+	Pack           *bool
+
+	// StartDelay gives the container start latency per pod type; the
+	// defaults are milliseconds for fast tests. Table 3 configures
+	// paper-scale values (guardian 1-2s, helper 3-4s, learner 10-20s).
+	StartDelay func(podType string) time.Duration
+	// APIRestartDelay / LCMRestartDelay model microservice replica
+	// restart (Table 3: API 3-5s, LCM 4-6s).
+	APIRestartDelay time.Duration
+	LCMRestartDelay time.Duration
+
+	// TimeCompression converts modeled learner seconds to real clock
+	// time (0 = run training instantaneously).
+	TimeCompression float64
+	// RendezvousTimeout bounds learner peer-waiting.
+	RendezvousTimeout time.Duration
+
+	// PollInterval is the platform-internal control loop period.
+	PollInterval time.Duration
+	// SchedulerInterval / ResyncInterval tune the kube control loops
+	// (defaulted by internal/kube when zero).
+	SchedulerInterval time.Duration
+	ResyncInterval    time.Duration
+	// DeployAttempts is the Guardian's rollback-retry budget ("repeated
+	// for a (configurable) number of times before the Guardian gives
+	// up", §3.3).
+	DeployAttempts int
+
+	// Admission, when non-nil, gates submissions by user quota.
+	Admission *sched.Admission
+
+	// StorageBandwidth throttles the object store (bytes/sec aggregate);
+	// 0 = unthrottled.
+	StorageBandwidth float64
+}
+
+func (c *Config) defaults() {
+	if c.Clock == nil {
+		c.Clock = sim.NewRealClock()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.APIReplicas <= 0 {
+		c.APIReplicas = 2
+	}
+	if c.LCMReplicas <= 0 {
+		c.LCMReplicas = 2
+	}
+	if c.EtcdReplicas <= 0 {
+		c.EtcdReplicas = 3
+	}
+	if c.GangScheduling == nil {
+		t := true
+		c.GangScheduling = &t
+	}
+	if c.Pack == nil {
+		t := true
+		c.Pack = &t
+	}
+	if c.StartDelay == nil {
+		c.StartDelay = func(podType string) time.Duration {
+			switch podType {
+			case PodTypeLearner:
+				return 10 * time.Millisecond
+			case PodTypeHelper:
+				return 3 * time.Millisecond
+			case PodTypeGuardian:
+				return 2 * time.Millisecond
+			default:
+				return time.Millisecond
+			}
+		}
+	}
+	if c.APIRestartDelay <= 0 {
+		c.APIRestartDelay = 4 * time.Millisecond
+	}
+	if c.LCMRestartDelay <= 0 {
+		c.LCMRestartDelay = 5 * time.Millisecond
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 3 * time.Millisecond
+	}
+	if c.DeployAttempts <= 0 {
+		c.DeployAttempts = 3
+	}
+	if c.RendezvousTimeout <= 0 {
+		c.RendezvousTimeout = 30 * time.Second
+	}
+}
+
+// jobResources is the in-memory handle set for one deployed job.
+type jobResources struct {
+	manifest Manifest
+	volume   *nfs.Volume
+	mount    *objstore.Mount
+}
+
+// Platform is a fully wired FfDL instance.
+type Platform struct {
+	cfg   Config
+	clock sim.Clock
+	rng   *sim.RNG
+
+	Kube    *kube.Cluster
+	Etcd    *etcd.Cluster
+	Mongo   *mongo.DB
+	Jobs    *mongo.Collection
+	Store   *objstore.Service
+	NFS     *nfs.Provisioner
+	Metrics *MetricsService
+
+	Registry *rpc.Registry
+
+	mu        sync.Mutex
+	apis      []*apiReplica
+	lcms      []*lcmReplica
+	resources map[string]*jobResources
+	jobSeq    int
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewPlatform boots a complete FfDL instance (etcd cluster, mongo,
+// object store, NFS provisioner, kube orchestrator, API/LCM replicas,
+// metrics service) with no worker nodes; call AddNode to add capacity.
+func NewPlatform(cfg Config) (*Platform, error) {
+	cfg.defaults()
+	rng := sim.NewRNG(cfg.Seed)
+
+	etcdCluster, err := etcd.NewCluster(etcd.Options{
+		Replicas: cfg.EtcdReplicas,
+		Clock:    cfg.Clock,
+		Seed:     cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: boot etcd: %w", err)
+	}
+
+	db := mongo.NewDB()
+	jobs := db.C("jobs")
+	jobs.EnsureIndex("user")
+	jobs.EnsureIndex("status")
+
+	store := objstore.New(objstore.Config{Clock: cfg.Clock, AggregateBandwidth: cfg.StorageBandwidth})
+	prov := nfs.NewProvisioner(cfg.Clock, rng.Stream(2))
+	// Platform tests run with fast provisioning; the §4 load-dependent
+	// behaviour is exercised explicitly by chaos tests.
+	prov.BaseLatency = time.Millisecond
+	prov.LoadPenalty = 0
+
+	var gang sched.GangPolicy
+	var podPolicy sched.PodPolicy = sched.Spread{}
+	if *cfg.Pack {
+		podPolicy = sched.Pack{}
+	}
+	if *cfg.GangScheduling {
+		gang = sched.NewBSA(rng.Stream(3))
+	}
+	kubeCluster := kube.NewCluster(kube.Config{
+		Clock:             cfg.Clock,
+		RNG:               rng.Stream(4),
+		PodPolicy:         podPolicy,
+		GangPolicy:        gang,
+		StartDelay:        cfg.StartDelay,
+		SchedulerInterval: cfg.SchedulerInterval,
+		ResyncInterval:    cfg.ResyncInterval,
+	})
+
+	p := &Platform{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		rng:       rng,
+		Kube:      kubeCluster,
+		Etcd:      etcdCluster,
+		Mongo:     db,
+		Jobs:      jobs,
+		Store:     store,
+		NFS:       prov,
+		Metrics:   NewMetricsService(),
+		Registry:  rpc.NewRegistry(),
+		resources: make(map[string]*jobResources),
+		stopCh:    make(chan struct{}),
+	}
+	p.registerRuntimes()
+
+	for i := 0; i < cfg.APIReplicas; i++ {
+		a, err := newAPIReplica(p, i)
+		if err != nil {
+			p.Stop()
+			return nil, err
+		}
+		p.apis = append(p.apis, a)
+	}
+	for i := 0; i < cfg.LCMReplicas; i++ {
+		l, err := newLCMReplica(p, i)
+		if err != nil {
+			p.Stop()
+			return nil, err
+		}
+		p.lcms = append(p.lcms, l)
+	}
+	return p, nil
+}
+
+// AddNode adds a worker machine to the cluster.
+func (p *Platform) AddNode(name, gpuType string, gpus int, cpus int, memMB int64) {
+	p.Kube.AddNode(name, gpuType, sched.Resources{
+		MilliCPU: int64(cpus) * 1000, MemoryMB: memMB, GPUs: gpus,
+	})
+}
+
+// Client returns a load-balanced client for the platform's API service.
+func (p *Platform) Client() *Client {
+	return NewClient(p.Registry)
+}
+
+// Clock returns the platform clock.
+func (p *Platform) Clock() sim.Clock { return p.clock }
+
+// nextJobID mints a job identifier.
+func (p *Platform) nextJobID() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jobSeq++
+	return fmt.Sprintf("training-%06d", p.jobSeq)
+}
+
+// putResources registers a job's in-memory handles.
+func (p *Platform) putResources(jobID string, r *jobResources) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resources[jobID] = r
+}
+
+// getResources fetches a job's handles.
+func (p *Platform) getResources(jobID string) (*jobResources, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.resources[jobID]
+	return r, ok
+}
+
+func (p *Platform) dropResources(jobID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.resources, jobID)
+}
+
+// CrashAPI kills one API replica; it restarts after the configured
+// delay (Table 3's API row). Returns false if the index is invalid.
+func (p *Platform) CrashAPI(i int) bool {
+	if i < 0 || i >= len(p.apis) {
+		return false
+	}
+	p.apis[i].crashAndRestart()
+	return true
+}
+
+// CrashLCM kills one LCM replica with automatic restart.
+func (p *Platform) CrashLCM(i int) bool {
+	if i < 0 || i >= len(p.lcms) {
+		return false
+	}
+	p.lcms[i].crashAndRestart()
+	return true
+}
+
+// Stop shuts the platform down.
+func (p *Platform) Stop() {
+	select {
+	case <-p.stopCh:
+		return
+	default:
+	}
+	close(p.stopCh)
+	for _, a := range p.apis {
+		a.stop()
+	}
+	for _, l := range p.lcms {
+		l.stop()
+	}
+	p.Kube.Stop()
+	p.Etcd.Stop()
+	p.wg.Wait()
+}
+
+// etcd key helpers.
+func keyJobPrefix(jobID string) string { return "jobs/" + jobID + "/" }
+func keyLearnerStatus(jobID string, ord int) string {
+	return fmt.Sprintf("jobs/%s/learners/%d/status", jobID, ord)
+}
+func keyLearnerExit(jobID string, ord int) string {
+	return fmt.Sprintf("jobs/%s/learners/%d/exit", jobID, ord)
+}
+func keyControl(jobID string) string { return "jobs/" + jobID + "/control" }
+func keyDone(jobID string) string    { return "jobs/" + jobID + "/done" }
+
+// Control verbs written to the job's etcd control key.
+const (
+	controlHalt      = "HALT"
+	controlResume    = "RESUME"
+	controlTerminate = "TERMINATE"
+)
+
+// kube object name helpers.
+func guardianJobName(jobID string) string  { return "guardian-" + jobID }
+func learnerSetName(jobID string) string   { return "learner-" + jobID }
+func helperDeployName(jobID string) string { return "lhelper-" + jobID }
+func netpolName(jobID string) string       { return "netpol-" + jobID }

@@ -1,0 +1,103 @@
+// Package core implements FfDL's core services layer (§3): the API
+// microservice, the Lifecycle Manager (LCM), the per-job Guardian
+// delegate, the helper pod containers (controller, load-data,
+// store-results, log-collector) and the Training Metrics Service —
+// wired over internal/rpc and running on the internal/kube orchestrator
+// with internal/etcd coordination and internal/mongo metadata.
+package core
+
+import (
+	"time"
+)
+
+// JobStatus is a DL-specific job state — the statuses the paper says
+// generic cluster managers cannot provide (§1: "DOWNLOADING, PROCESSING,
+// STORING, HALTED, RESUMED etc.").
+type JobStatus string
+
+// Job statuses.
+const (
+	StatusPending     JobStatus = "PENDING"
+	StatusDeploying   JobStatus = "DEPLOYING"
+	StatusDownloading JobStatus = "DOWNLOADING"
+	StatusProcessing  JobStatus = "PROCESSING"
+	StatusStoring     JobStatus = "STORING"
+	StatusCompleted   JobStatus = "COMPLETED"
+	StatusFailed      JobStatus = "FAILED"
+	StatusHalted      JobStatus = "HALTED"
+	StatusResumed     JobStatus = "RESUMED"
+	StatusCanceled    JobStatus = "CANCELED"
+)
+
+// Terminal reports whether a job status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusCompleted || s == StatusFailed || s == StatusCanceled
+}
+
+// statusRank orders the in-flight statuses for aggregation across
+// learners: the job is only as far along as its slowest learner.
+func statusRank(s JobStatus) int {
+	switch s {
+	case StatusPending:
+		return 1
+	case StatusDeploying:
+		return 2
+	case StatusDownloading:
+		return 3
+	case StatusProcessing:
+		return 4
+	case StatusStoring:
+		return 5
+	case StatusCompleted:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// StatusEntry is one record in a job's status history. "users use
+// associated timestamps for job profiling and debugging" (§2), so every
+// transition is timestamped and persisted to MongoDB.
+type StatusEntry struct {
+	Status  JobStatus
+	Time    time.Time
+	Message string
+}
+
+// CanTransition reports whether from → to is a legal status move. The
+// machine enforces monotone forward progress: a job may skip observation
+// points (a fast job can go DOWNLOADING → COMPLETED if the controller's
+// sampling missed PROCESSING — the underlying process still went through
+// it) but may never move backwards, and terminal states are sticky.
+// HALT is allowed from any in-flight state; RESUME only from HALTED and
+// re-enters the pipeline at deployment rank.
+func CanTransition(from, to JobStatus) bool {
+	if from == to {
+		return true
+	}
+	if from.Terminal() {
+		return false
+	}
+	switch to {
+	case StatusFailed, StatusCanceled:
+		return true
+	case StatusHalted:
+		return statusRank(from) >= statusRank(StatusDeploying) || from == StatusResumed
+	case StatusResumed:
+		return from == StatusHalted
+	}
+	if from == StatusHalted {
+		return false // only RESUMED/FAILED/CANCELED leave HALTED
+	}
+	fromRank := statusRank(from)
+	if from == StatusResumed {
+		fromRank = statusRank(StatusDeploying)
+	}
+	// DEPLOYING is re-entrant from any in-flight state: a restarted
+	// Guardian rolls the job back and redeploys it from scratch (§3.3),
+	// which legitimately moves a PROCESSING job back to DEPLOYING.
+	if to == StatusDeploying {
+		return true
+	}
+	return statusRank(to) > fromRank
+}

@@ -1,0 +1,429 @@
+package etcd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Replicas is the cluster size; the paper deploys etcd 3-way
+	// replicated. Defaults to 3.
+	Replicas int
+	// TickInterval is the Raft logical tick. Defaults to 5ms, giving
+	// 50-100ms election timeouts — fast enough for tests, slow enough to
+	// be stable on loaded CI machines.
+	TickInterval time.Duration
+	// Clock supplies time for lease deadlines. Defaults to the wall
+	// clock.
+	Clock sim.Clock
+	// Seed makes election randomization deterministic in tests.
+	Seed int64
+	// SnapshotThreshold bounds per-node log length before compaction.
+	SnapshotThreshold int
+	// ProposalTimeout bounds how long a client call waits for commit.
+	// Defaults to 5s.
+	ProposalTimeout time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.TickInterval <= 0 {
+		o.TickInterval = 5 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = sim.NewRealClock()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SnapshotThreshold <= 0 {
+		o.SnapshotThreshold = 4096
+	}
+	if o.ProposalTimeout <= 0 {
+		o.ProposalTimeout = 5 * time.Second
+	}
+}
+
+// Cluster is an in-process replicated etcd: n Raft nodes, each applying
+// committed commands to its own storeState replica. Client operations are
+// routed to the leader. Exactly-once application is guaranteed by
+// request-ID deduplication in the state machine, so a retried proposal
+// (e.g. across a leader change) never double-applies.
+type Cluster struct {
+	opts      Options
+	transport *memTransport
+	nodes     []*node
+	states    []*storeState
+
+	reqSeq  atomic.Uint64
+	lastRev atomic.Uint64 // highest revision returned to any client
+	mu      sync.Mutex
+	waiters map[uint64]chan result
+	applied map[uint64]result // request dedup cache (mirrors leader's view)
+
+	stopCh  chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// NewCluster boots a Raft cluster and waits for a leader.
+func NewCluster(opts Options) (*Cluster, error) {
+	opts.defaults()
+	c := &Cluster{
+		opts:      opts,
+		transport: newMemTransport(),
+		waiters:   make(map[uint64]chan result),
+		applied:   make(map[uint64]result),
+		stopCh:    make(chan struct{}),
+	}
+	peers := make([]int, opts.Replicas)
+	for i := range peers {
+		peers[i] = i
+	}
+	rng := sim.NewRNG(opts.Seed)
+	for i := 0; i < opts.Replicas; i++ {
+		st := newStoreState(opts.Clock.Now)
+		cfg := Config{
+			ID: i, Peers: peers,
+			SnapshotThreshold: opts.SnapshotThreshold,
+			Snapshot:          st.snapshot,
+			Restore:           func(data []byte, _ uint64) { st.restore(data) },
+		}
+		n := newNode(cfg, c.transport, rng.Stream(int64(i)), c.applier(st))
+		c.nodes = append(c.nodes, n)
+		c.states = append(c.states, st)
+		c.transport.attach(n)
+	}
+	for _, n := range c.nodes {
+		n.start(opts.TickInterval)
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.leaseExpiryLoop()
+	}()
+	if _, err := c.WaitLeader(10 * time.Second); err != nil {
+		c.Stop()
+		return nil, err
+	}
+	return c, nil
+}
+
+// applier builds the synchronous apply callback for one replica: decode
+// the committed command, apply it to this node's state replica (with
+// per-replica ReqID dedup so retried proposals never double-apply) and
+// complete any client waiter for the request.
+func (c *Cluster) applier(st *storeState) applyFunc {
+	return func(a Applied) {
+		var cmd command
+		if err := gob.NewDecoder(bytes.NewReader(a.Data)).Decode(&cmd); err != nil {
+			return
+		}
+		res := st.apply(&cmd)
+		c.mu.Lock()
+		if _, ok := c.applied[cmd.ReqID]; !ok {
+			c.applied[cmd.ReqID] = res
+		}
+		w := c.waiters[cmd.ReqID]
+		delete(c.waiters, cmd.ReqID)
+		c.mu.Unlock()
+		if w != nil {
+			select {
+			case w <- res:
+			default:
+			}
+		}
+	}
+}
+
+// leaseExpiryLoop revokes expired leases via consensus so all replicas
+// delete lease-bound keys identically.
+func (c *Cluster) leaseExpiryLoop() {
+	ticker := c.opts.Clock.NewTicker(c.opts.TickInterval * 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+			li := c.leaderIndex()
+			if li < 0 {
+				continue
+			}
+			for _, id := range c.states[li].expiredLeases() {
+				// Best-effort: a failed proposal retries next tick.
+				c.propose(&command{Op: opExpireLease, Lease: id}) //nolint:errcheck
+			}
+		}
+	}
+}
+
+// leaderIndex returns the current leader's index or -1.
+func (c *Cluster) leaderIndex() int {
+	for i, n := range c.nodes {
+		if n.isLeader() && !c.transport.isIsolated(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// WaitLeader blocks until a leader is elected.
+func (c *Cluster) WaitLeader(timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if li := c.leaderIndex(); li >= 0 {
+			return li, nil
+		}
+		time.Sleep(c.opts.TickInterval)
+	}
+	return -1, fmt.Errorf("etcd: no leader within %v", timeout)
+}
+
+// propose encodes, replicates and waits for a command to commit and
+// apply; it retries across leader changes using the same request ID so
+// the state machine applies it exactly once.
+func (c *Cluster) propose(cmd *command) (result, error) {
+	if c.stopped.Load() {
+		return result{}, ErrStopped
+	}
+	cmd.ReqID = c.reqSeq.Add(1)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cmd); err != nil {
+		return result{}, fmt.Errorf("etcd: encode command: %w", err)
+	}
+	data := buf.Bytes()
+
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	c.waiters[cmd.ReqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, cmd.ReqID)
+		c.mu.Unlock()
+	}()
+
+	deadline := time.Now().Add(c.opts.ProposalTimeout)
+	for {
+		li := c.leaderIndex()
+		if li >= 0 {
+			if _, _, err := c.nodes[li].Propose(data); err == nil {
+				// Wait for apply, but re-propose if leadership moves
+				// before commit.
+				select {
+				case res := <-ch:
+					c.noteRev(res.rev)
+					if res.err != nil {
+						return res, res.err
+					}
+					return res, nil
+				case <-time.After(20 * c.opts.TickInterval):
+					// Check for dedup-applied result (another replica
+					// applied and the waiter raced).
+				case <-c.stopCh:
+					return result{}, ErrStopped
+				}
+				c.mu.Lock()
+				res, done := c.applied[cmd.ReqID]
+				c.mu.Unlock()
+				if done {
+					c.noteRev(res.rev)
+					return res, res.err
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return result{}, ErrTimeout
+		}
+		time.Sleep(c.opts.TickInterval)
+	}
+}
+
+// opExpireLease revokes a lease due to TTL expiry (events surface as
+// EventExpire rather than EventDelete).
+const opExpireLease cmdOp = 99
+
+// Put stores value under key, optionally bound to a lease.
+func (c *Cluster) Put(key string, value []byte, lease int64) (uint64, error) {
+	res, err := c.propose(&command{Op: opPut, Key: key, Value: value, Lease: lease})
+	return res.rev, err
+}
+
+// Delete removes a key. It reports whether the key existed.
+func (c *Cluster) Delete(key string) (bool, error) {
+	res, err := c.propose(&command{Op: opDelete, Key: key})
+	return res.ok, err
+}
+
+// DeletePrefix removes every key under prefix, returning whether any
+// existed. FfDL uses this to erase a DL job's coordination state after it
+// terminates (§3.2: "a DL job's data is erased after it terminates").
+func (c *Cluster) DeletePrefix(prefix string) (bool, error) {
+	res, err := c.propose(&command{Op: opDelete, Key: prefix, Prefix: true})
+	return res.ok, err
+}
+
+// Grant creates a lease with the given TTL.
+func (c *Cluster) Grant(ttl time.Duration) (int64, error) {
+	res, err := c.propose(&command{Op: opGrantLease, TTL: ttl})
+	return res.leaseID, err
+}
+
+// KeepAlive refreshes a lease's TTL.
+func (c *Cluster) KeepAlive(id int64) error {
+	_, err := c.propose(&command{Op: opKeepAlive, Lease: id})
+	return err
+}
+
+// Revoke deletes a lease and all keys bound to it.
+func (c *Cluster) Revoke(id int64) error {
+	_, err := c.propose(&command{Op: opRevokeLease, Lease: id})
+	return err
+}
+
+// CompareAndSwap puts value under key iff the key's current ModRevision
+// equals expectRev (0 means the key must not exist). It reports whether
+// the swap happened.
+func (c *Cluster) CompareAndSwap(key string, expectRev uint64, value []byte) (bool, error) {
+	res, err := c.propose(&command{
+		Op: opTxnPut, Key: key, Value: value, CmpKey: key, CmpRev: expectRev,
+	})
+	return res.ok, err
+}
+
+// Get returns the value for key from the leader's replica.
+func (c *Cluster) Get(key string) (KV, bool, error) {
+	st, err := c.leaderState()
+	if err != nil {
+		return KV{}, false, err
+	}
+	kv, ok := st.get(key)
+	return kv, ok, nil
+}
+
+// List returns all keys under prefix from the leader's replica.
+func (c *Cluster) List(prefix string) ([]KV, error) {
+	st, err := c.leaderState()
+	if err != nil {
+		return nil, err
+	}
+	return st.list(prefix), nil
+}
+
+// noteRev records the highest revision handed back to any client, which
+// reads then use as a read-your-writes barrier.
+func (c *Cluster) noteRev(rev uint64) {
+	for {
+		cur := c.lastRev.Load()
+		if rev <= cur || c.lastRev.CompareAndSwap(cur, rev) {
+			return
+		}
+	}
+}
+
+// leaderState returns the leader's replica once it has applied every
+// revision previously acknowledged to a client. A proposal is
+// acknowledged as soon as *some* replica applies it; waiting here closes
+// the window in which the leader's own apply loop lags, guaranteeing
+// read-your-writes for Get/List/Watch registration.
+func (c *Cluster) leaderState() (*storeState, error) {
+	li := c.leaderIndex()
+	if li < 0 {
+		var err error
+		li, err = c.WaitLeader(c.opts.ProposalTimeout)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := c.states[li]
+	want := c.lastRev.Load()
+	deadline := time.Now().Add(c.opts.ProposalTimeout)
+	for st.revision() < want {
+		if time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		time.Sleep(c.opts.TickInterval / 2)
+		// Leadership may move while we wait.
+		if li2 := c.leaderIndex(); li2 >= 0 && li2 != li {
+			li = li2
+			st = c.states[li]
+		}
+	}
+	return st, nil
+}
+
+// Watch streams events for a single key. The returned cancel must be
+// called to release the watcher. Events are delivered from the replica
+// that was leader at registration time; that replica keeps applying all
+// committed mutations even if leadership later moves, so no events are
+// lost while it stays up.
+func (c *Cluster) Watch(key string) (<-chan Event, func(), error) {
+	return c.watch(key, false)
+}
+
+// WatchPrefix streams events for every key under prefix.
+func (c *Cluster) WatchPrefix(prefix string) (<-chan Event, func(), error) {
+	return c.watch(prefix, true)
+}
+
+func (c *Cluster) watch(key string, prefix bool) (<-chan Event, func(), error) {
+	st, err := c.leaderState()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, cancel := st.addWatcher(key, prefix, 128)
+	return w.ch, cancel, nil
+}
+
+// Isolate cuts a node off from the cluster (on=true), modeling a crash or
+// partition; on=false heals it and the node catches up via replication.
+func (c *Cluster) Isolate(id int, on bool) { c.transport.Isolate(id, on) }
+
+// CutLink severs or heals the link between two members.
+func (c *Cluster) CutLink(a, b int, on bool) { c.transport.CutLink(a, b, on) }
+
+// Leader returns the current leader id, or -1.
+func (c *Cluster) Leader() int { return c.leaderIndex() }
+
+// Replicas returns the cluster size.
+func (c *Cluster) Replicas() int { return len(c.nodes) }
+
+// StateEqual reports whether two replicas hold identical KV maps; used by
+// invariant tests.
+func (c *Cluster) StateEqual(a, b int) bool {
+	ka := c.states[a].list("")
+	kb := c.states[b].list("")
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i].Key != kb[i].Key || !bytes.Equal(ka[i].Value, kb[i].Value) ||
+			ka[i].ModRevision != kb[i].ModRevision {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop terminates the cluster.
+func (c *Cluster) Stop() {
+	if !c.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(c.stopCh)
+	for _, n := range c.nodes {
+		n.stop()
+	}
+	c.transport.stop()
+	c.wg.Wait()
+}

@@ -1,0 +1,432 @@
+package etcd
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	if opts.TickInterval == 0 {
+		opts.TickInterval = 2 * time.Millisecond
+	}
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestElectsSingleLeader(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3})
+	leaders := 0
+	for _, n := range c.nodes {
+		if n.isLeader() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want 1", leaders)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	rev, err := c.Put("jobs/j1/status", []byte("PENDING"), 0)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if rev == 0 {
+		t.Fatal("Put returned zero revision")
+	}
+	kv, ok, err := c.Get("jobs/j1/status")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if string(kv.Value) != "PENDING" {
+		t.Fatalf("value = %q", kv.Value)
+	}
+	if kv.CreateRevision != rev || kv.ModRevision != rev {
+		t.Fatalf("revisions = %d/%d, want %d", kv.CreateRevision, kv.ModRevision, rev)
+	}
+}
+
+func TestRevisionsMonotonic(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	var last uint64
+	for i := 0; i < 20; i++ {
+		rev, err := c.Put(fmt.Sprintf("k%d", i%3), []byte("v"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rev <= last {
+			t.Fatalf("revision %d not greater than %d", rev, last)
+		}
+		last = rev
+	}
+}
+
+func TestDeleteAndPrefix(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := c.Put(fmt.Sprintf("jobs/j1/learner%d", i), []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Put("jobs/j2/learner0", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Delete("jobs/j1/learner0")
+	if err != nil || !ok {
+		t.Fatalf("Delete: ok=%v err=%v", ok, err)
+	}
+	ok, err = c.DeletePrefix("jobs/j1/")
+	if err != nil || !ok {
+		t.Fatalf("DeletePrefix: ok=%v err=%v", ok, err)
+	}
+	kvs, err := c.List("jobs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Key != "jobs/j2/learner0" {
+		t.Fatalf("List after prefix delete = %v", kvs)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	// Create-if-absent.
+	ok, err := c.CompareAndSwap("lock", 0, []byte("owner1"))
+	if err != nil || !ok {
+		t.Fatalf("CAS create: ok=%v err=%v", ok, err)
+	}
+	// Second create-if-absent must fail.
+	ok, err = c.CompareAndSwap("lock", 0, []byte("owner2"))
+	if err != nil || ok {
+		t.Fatalf("CAS duplicate create succeeded")
+	}
+	kv, _, err := c.Get("lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(kv.Value) != "owner1" {
+		t.Fatalf("lock owner = %q, want owner1", kv.Value)
+	}
+	// Swap at current revision succeeds.
+	ok, err = c.CompareAndSwap("lock", kv.ModRevision, []byte("owner2"))
+	if err != nil || !ok {
+		t.Fatalf("CAS update: ok=%v err=%v", ok, err)
+	}
+	// Stale revision fails.
+	ok, err = c.CompareAndSwap("lock", kv.ModRevision, []byte("owner3"))
+	if err != nil || ok {
+		t.Fatal("stale CAS succeeded")
+	}
+}
+
+func TestWatchKey(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	ch, cancel, err := c.Watch("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if _, err := c.Put("status", []byte("RUNNING"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("other", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		if ev.Type != EventPut || string(ev.KV.Value) != "RUNNING" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no watch event")
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event for other key: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestWatchPrefixStreamsAll(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	ch, cancel, err := c.WatchPrefix("jobs/j1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Put(fmt.Sprintf("jobs/j1/learner%d", i), []byte("READY"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Delete("jobs/j1/learner1"); err != nil {
+		t.Fatal(err)
+	}
+	var puts, dels int
+	timeout := time.After(2 * time.Second)
+	for puts+dels < 4 {
+		select {
+		case ev := <-ch:
+			switch ev.Type {
+			case EventPut:
+				puts++
+			case EventDelete:
+				dels++
+			}
+		case <-timeout:
+			t.Fatalf("got %d puts %d dels, want 3/1", puts, dels)
+		}
+	}
+	if puts != 3 || dels != 1 {
+		t.Fatalf("puts=%d dels=%d", puts, dels)
+	}
+}
+
+func TestLeaseExpiryDeletesKeys(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	id, err := c.Grant(50 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	if _, err := c.Put("ephemeral", []byte("x"), id); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := c.Watch("ephemeral")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	select {
+	case ev := <-ch:
+		if ev.Type != EventExpire {
+			t.Fatalf("event = %v, want EXPIRE", ev.Type)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("lease never expired")
+	}
+	if _, ok, _ := c.Get("ephemeral"); ok {
+		t.Fatal("key survived lease expiry")
+	}
+}
+
+func TestLeaseKeepAlivePreventsExpiry(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	id, err := c.Grant(80 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("hb", []byte("alive"), id); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		time.Sleep(40 * time.Millisecond)
+		if err := c.KeepAlive(id); err != nil {
+			t.Fatalf("KeepAlive: %v", err)
+		}
+	}
+	if _, ok, _ := c.Get("hb"); !ok {
+		t.Fatal("key expired despite keepalives")
+	}
+	if err := c.Revoke(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("hb"); ok {
+		t.Fatal("key survived revoke")
+	}
+}
+
+func TestLeaderFailoverContinuesService(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3})
+	if _, err := c.Put("before", []byte("1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	old := c.Leader()
+	c.Isolate(old, true)
+	// A new leader must emerge among the remaining two.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if l := c.Leader(); l >= 0 && l != old {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no new leader after isolating old one")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Put("after", []byte("2"), 0); err != nil {
+		t.Fatalf("Put after failover: %v", err)
+	}
+	kv, ok, err := c.Get("before")
+	if err != nil || !ok || string(kv.Value) != "1" {
+		t.Fatalf("pre-failover data lost: %v %v %v", kv, ok, err)
+	}
+	// Heal: old leader rejoins as follower and catches up.
+	c.Isolate(old, false)
+	time.Sleep(200 * time.Millisecond)
+	if !c.StateEqual(0, 1) || !c.StateEqual(1, 2) {
+		t.Fatal("replicas diverged after heal")
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3, ProposalTimeout: 300 * time.Millisecond})
+	leader := c.Leader()
+	// Cut the leader from both followers: it must not commit new writes.
+	for i := 0; i < 3; i++ {
+		if i != leader {
+			c.CutLink(leader, i, true)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	// Writes go to the majority side's new leader; reads of a fresh key
+	// prove the minority didn't serve the write.
+	if _, err := c.Put("majority", []byte("yes"), 0); err != nil {
+		t.Fatalf("majority write failed: %v", err)
+	}
+	// The isolated old leader must not have the key.
+	if kv, ok := c.states[leader].get("majority"); ok {
+		t.Fatalf("minority applied uncommitted write: %+v", kv)
+	}
+	for i := 0; i < 3; i++ {
+		if i != leader {
+			c.CutLink(leader, i, false)
+		}
+	}
+}
+
+func TestReplicasConvergeUnderLoad(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3})
+	for i := 0; i < 200; i++ {
+		if _, err := c.Put(fmt.Sprintf("k%03d", i%50), []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow followers to drain.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.StateEqual(0, 1) && c.StateEqual(1, 2) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("replicas did not converge")
+}
+
+func TestSnapshotCompactionKeepsState(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3, SnapshotThreshold: 64})
+	for i := 0; i < 300; i++ {
+		if _, err := c.Put(fmt.Sprintf("key%d", i%10), []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	li := c.Leader()
+	c.nodes[li].mu.Lock()
+	compacted := c.nodes[li].snapIndex > 0
+	c.nodes[li].mu.Unlock()
+	if !compacted {
+		t.Fatal("log never compacted despite small threshold")
+	}
+	kv, ok, err := c.Get("key9")
+	if err != nil || !ok {
+		t.Fatalf("Get after compaction: %v %v", ok, err)
+	}
+	if string(kv.Value) != "v299" {
+		t.Fatalf("value = %q, want v299", kv.Value)
+	}
+}
+
+func TestLaggingFollowerCatchesUpViaSnapshot(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3, SnapshotThreshold: 32})
+	// Isolate a follower, write enough to force compaction past its log.
+	leader := c.Leader()
+	follower := (leader + 1) % 3
+	c.Isolate(follower, true)
+	for i := 0; i < 200; i++ {
+		if _, err := c.Put(fmt.Sprintf("k%d", i), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Isolate(follower, false)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if kv, ok := c.states[follower].get("k199"); ok && string(kv.Value) == "v" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("follower did not catch up via snapshot")
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 1})
+	if _, err := c.Put("solo", []byte("1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("solo"); !ok {
+		t.Fatal("single-node put lost")
+	}
+}
+
+func TestStoppedClusterErrors(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 1})
+	c.Stop()
+	if _, err := c.Put("x", nil, 0); err == nil {
+		t.Fatal("Put on stopped cluster succeeded")
+	}
+}
+
+// Property: the store behaves as a map — the last written value per key
+// wins, for arbitrary operation interleavings.
+func TestStoreLinearizesToMapProperty(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3})
+	f := func(ops []struct {
+		Key byte
+		Val uint16
+		Del bool
+	}) bool {
+		if len(ops) > 30 {
+			ops = ops[:30]
+		}
+		model := make(map[string]string)
+		prefix := fmt.Sprintf("prop%d/", time.Now().UnixNano())
+		for _, op := range ops {
+			k := prefix + fmt.Sprintf("k%d", op.Key%4)
+			if op.Del {
+				if _, err := c.Delete(k); err != nil {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", op.Val)
+				if _, err := c.Put(k, []byte(v), 0); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		kvs, err := c.List(prefix)
+		if err != nil {
+			return false
+		}
+		if len(kvs) != len(model) {
+			return false
+		}
+		for _, kv := range kvs {
+			if model[kv.Key] != string(kv.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+package etcd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// KV is a key-value pair with MVCC metadata.
+type KV struct {
+	Key            string
+	Value          []byte
+	CreateRevision uint64
+	ModRevision    uint64
+	Lease          int64
+}
+
+// EventType classifies watch events.
+type EventType int
+
+// Watch event types.
+const (
+	EventPut EventType = iota + 1
+	EventDelete
+	EventExpire // lease expiry; a special delete, surfaced distinctly
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventPut:
+		return "PUT"
+	case EventDelete:
+		return "DELETE"
+	case EventExpire:
+		return "EXPIRE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Event is delivered to watchers on every mutation under their key or
+// prefix.
+type Event struct {
+	Type     EventType
+	KV       KV
+	Revision uint64
+}
+
+// command is the replicated state machine operation.
+type command struct {
+	Op        cmdOp
+	Key       string
+	Value     []byte
+	Lease     int64
+	TTL       time.Duration
+	Prefix    bool
+	CmpKey    string // txn: key whose ModRevision is compared
+	CmpRev    uint64 // txn: expected ModRevision (0 = must not exist)
+	ReqID     uint64 // for client response matching
+	RequestBy int    // proposing node
+}
+
+type cmdOp int
+
+const (
+	opPut cmdOp = iota + 1
+	opDelete
+	opGrantLease
+	opRevokeLease
+	opKeepAlive
+	opTxnPut // put iff CmpKey's ModRevision == CmpRev
+)
+
+// result is the outcome of applying a command.
+type result struct {
+	rev     uint64
+	ok      bool // txn comparison outcome
+	leaseID int64
+	err     error
+}
+
+// leaseRec tracks a granted lease.
+type leaseRec struct {
+	id       int64
+	ttl      time.Duration
+	deadline time.Time
+	keys     map[string]struct{}
+}
+
+// storeState is the replicated state machine: an MVCC map plus leases.
+// All mutations arrive through Raft apply, so replicas stay identical.
+// Request-ID deduplication makes application exactly-once even when a
+// client re-proposes across a leader change and both proposals commit.
+type storeState struct {
+	mu         sync.Mutex
+	kv         map[string]KV
+	rev        uint64
+	leases     map[int64]*leaseRec
+	nextL      int64
+	watchers   map[int]*watcher
+	nextW      int
+	now        func() time.Time
+	appliedReq map[uint64]result
+}
+
+// watcher receives events for a key or prefix.
+type watcher struct {
+	id     int
+	key    string
+	prefix bool
+	ch     chan Event
+	closed bool
+}
+
+func newStoreState(now func() time.Time) *storeState {
+	return &storeState{
+		kv:         make(map[string]KV),
+		leases:     make(map[int64]*leaseRec),
+		watchers:   make(map[int]*watcher),
+		now:        now,
+		appliedReq: make(map[uint64]result),
+	}
+}
+
+// apply executes a replicated command; deterministic across replicas.
+// A command whose ReqID has already been applied returns the cached
+// result without mutating state.
+func (s *storeState) apply(c *command) result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.ReqID != 0 {
+		if prev, ok := s.appliedReq[c.ReqID]; ok {
+			return prev
+		}
+	}
+	res := s.applyLocked(c)
+	if c.ReqID != 0 {
+		s.appliedReq[c.ReqID] = res
+	}
+	return res
+}
+
+func (s *storeState) applyLocked(c *command) result {
+	switch c.Op {
+	case opPut:
+		return s.putLocked(c.Key, c.Value, c.Lease)
+	case opDelete:
+		return s.deleteLocked(c.Key, c.Prefix, EventDelete)
+	case opGrantLease:
+		s.nextL++
+		id := s.nextL
+		s.leases[id] = &leaseRec{
+			id: id, ttl: c.TTL, deadline: s.now().Add(c.TTL),
+			keys: make(map[string]struct{}),
+		}
+		return result{leaseID: id, ok: true, rev: s.rev}
+	case opRevokeLease:
+		return s.revokeLeaseLocked(c.Lease, EventDelete)
+	case opKeepAlive:
+		l, ok := s.leases[c.Lease]
+		if !ok {
+			return result{err: ErrLeaseNotFound}
+		}
+		l.deadline = s.now().Add(l.ttl)
+		return result{ok: true, rev: s.rev, leaseID: l.id}
+	case opTxnPut:
+		cur, exists := s.kv[c.CmpKey]
+		var curRev uint64
+		if exists {
+			curRev = cur.ModRevision
+		}
+		if curRev != c.CmpRev {
+			return result{ok: false, rev: s.rev}
+		}
+		r := s.putLocked(c.Key, c.Value, c.Lease)
+		r.ok = true
+		return r
+	case opExpireLease:
+		return s.revokeLeaseLocked(c.Lease, EventExpire)
+	default:
+		return result{err: fmt.Errorf("etcd: unknown op %d", c.Op)}
+	}
+}
+
+func (s *storeState) putLocked(key string, value []byte, lease int64) result {
+	if lease != 0 {
+		l, ok := s.leases[lease]
+		if !ok {
+			return result{err: ErrLeaseNotFound}
+		}
+		l.keys[key] = struct{}{}
+	}
+	s.rev++
+	old, existed := s.kv[key]
+	kv := KV{Key: key, Value: append([]byte(nil), value...), ModRevision: s.rev, Lease: lease}
+	if existed {
+		kv.CreateRevision = old.CreateRevision
+		if old.Lease != 0 && old.Lease != lease {
+			if l, ok := s.leases[old.Lease]; ok {
+				delete(l.keys, key)
+			}
+		}
+	} else {
+		kv.CreateRevision = s.rev
+	}
+	s.kv[key] = kv
+	s.notifyLocked(Event{Type: EventPut, KV: kv, Revision: s.rev})
+	return result{rev: s.rev, ok: true}
+}
+
+func (s *storeState) deleteLocked(key string, prefix bool, typ EventType) result {
+	var victims []string
+	if prefix {
+		for k := range s.kv {
+			if strings.HasPrefix(k, key) {
+				victims = append(victims, k)
+			}
+		}
+		sort.Strings(victims)
+	} else if _, ok := s.kv[key]; ok {
+		victims = []string{key}
+	}
+	if len(victims) == 0 {
+		return result{rev: s.rev, ok: false}
+	}
+	s.rev++
+	for _, k := range victims {
+		old := s.kv[k]
+		delete(s.kv, k)
+		if old.Lease != 0 {
+			if l, ok := s.leases[old.Lease]; ok {
+				delete(l.keys, k)
+			}
+		}
+		s.notifyLocked(Event{Type: typ, KV: KV{Key: k, ModRevision: s.rev}, Revision: s.rev})
+	}
+	return result{rev: s.rev, ok: true}
+}
+
+func (s *storeState) revokeLeaseLocked(id int64, typ EventType) result {
+	l, ok := s.leases[id]
+	if !ok {
+		return result{err: ErrLeaseNotFound}
+	}
+	keys := make([]string, 0, len(l.keys))
+	for k := range l.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	delete(s.leases, id)
+	for _, k := range keys {
+		s.rev++
+		delete(s.kv, k)
+		s.notifyLocked(Event{Type: typ, KV: KV{Key: k, ModRevision: s.rev}, Revision: s.rev})
+	}
+	return result{rev: s.rev, ok: true}
+}
+
+func (s *storeState) notifyLocked(ev Event) {
+	for _, w := range s.watchers {
+		if w.closed {
+			continue
+		}
+		match := (w.prefix && strings.HasPrefix(ev.KV.Key, w.key)) || (!w.prefix && ev.KV.Key == w.key)
+		if !match {
+			continue
+		}
+		select {
+		case w.ch <- ev:
+		default:
+			// Slow watcher: drop oldest by draining one, then retry once.
+			select {
+			case <-w.ch:
+			default:
+			}
+			select {
+			case w.ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// revision returns the replica's current revision.
+func (s *storeState) revision() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+// get returns the KV for key.
+func (s *storeState) get(key string) (KV, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kv, ok := s.kv[key]
+	return kv, ok
+}
+
+// list returns all KVs under prefix, key-sorted.
+func (s *storeState) list(prefix string) []KV {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []KV
+	for k, v := range s.kv {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// expiredLeases returns lease IDs past their deadline.
+func (s *storeState) expiredLeases() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	var out []int64
+	for id, l := range s.leases {
+		if now.After(l.deadline) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// addWatcher registers a watcher and returns it with a cancel func.
+func (s *storeState) addWatcher(key string, prefix bool, buf int) (*watcher, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextW++
+	w := &watcher{id: s.nextW, key: key, prefix: prefix, ch: make(chan Event, buf)}
+	s.watchers[w.id] = w
+	return w, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !w.closed {
+			w.closed = true
+			delete(s.watchers, w.id)
+			close(w.ch)
+		}
+	}
+}
+
+// snapshot serializes the KV map and leases for Raft compaction.
+func (s *storeState) snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	snap := storeSnapshot{
+		KVs: make([]KV, 0, len(s.kv)), Rev: s.rev, NextLease: s.nextL,
+	}
+	for _, v := range s.kv {
+		snap.KVs = append(snap.KVs, v)
+	}
+	sort.Slice(snap.KVs, func(i, j int) bool { return snap.KVs[i].Key < snap.KVs[j].Key })
+	for _, l := range s.leases {
+		ls := leaseSnapshot{ID: l.id, TTL: l.ttl, Deadline: l.deadline}
+		for k := range l.keys {
+			ls.Keys = append(ls.Keys, k)
+		}
+		sort.Strings(ls.Keys)
+		snap.Leases = append(snap.Leases, ls)
+	}
+	sort.Slice(snap.Leases, func(i, j int) bool { return snap.Leases[i].ID < snap.Leases[j].ID })
+	for id := range s.appliedReq {
+		snap.Applied = append(snap.Applied, id)
+	}
+	sort.Slice(snap.Applied, func(i, j int) bool { return snap.Applied[i] < snap.Applied[j] })
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		panic(fmt.Sprintf("etcd: snapshot encode: %v", err)) // cannot fail for these types
+	}
+	return buf.Bytes()
+}
+
+func (s *storeState) restore(data []byte) {
+	var snap storeSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kv = make(map[string]KV, len(snap.KVs))
+	for _, kv := range snap.KVs {
+		s.kv[kv.Key] = kv
+	}
+	s.rev = snap.Rev
+	s.nextL = snap.NextLease
+	s.leases = make(map[int64]*leaseRec, len(snap.Leases))
+	for _, ls := range snap.Leases {
+		l := &leaseRec{id: ls.ID, ttl: ls.TTL, deadline: ls.Deadline, keys: make(map[string]struct{})}
+		for _, k := range ls.Keys {
+			l.keys[k] = struct{}{}
+		}
+		s.leases[l.id] = l
+	}
+	s.appliedReq = make(map[uint64]result, len(snap.Applied))
+	for _, id := range snap.Applied {
+		s.appliedReq[id] = result{}
+	}
+}
+
+type storeSnapshot struct {
+	KVs       []KV
+	Rev       uint64
+	NextLease int64
+	Leases    []leaseSnapshot
+	Applied   []uint64
+}
+
+type leaseSnapshot struct {
+	ID       int64
+	TTL      time.Duration
+	Deadline time.Time
+	Keys     []string
+}
+
+// Store errors.
+var (
+	// ErrLeaseNotFound reports an operation against an unknown or expired
+	// lease.
+	ErrLeaseNotFound = errors.New("etcd: lease not found")
+	// ErrTimeout reports that a proposal did not commit in time.
+	ErrTimeout = errors.New("etcd: proposal timed out")
+	// ErrStopped reports use of a stopped cluster.
+	ErrStopped = errors.New("etcd: cluster stopped")
+)

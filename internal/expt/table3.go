@@ -1,0 +1,228 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/core"
+	"github.com/ffdl/ffdl/internal/perf"
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// Table3Row reports the measured crash-recovery time band for one
+// component.
+type Table3Row struct {
+	Component string
+	Min, Max  time.Duration
+	Mean      time.Duration
+}
+
+// table3Scale compresses the paper's second-scale restart delays by
+// 250x so the experiment runs in real milliseconds; reported values are
+// scaled back. The *measured* part — detection, reconciliation,
+// rescheduling, container start sequencing — is exercised for real on
+// the live platform. (Higher compression would let fixed goroutine
+// scheduling overhead, amplified by the scale factor, distort the
+// sub-2s Guardian band.)
+const table3Scale = 250
+
+// Table3 reproduces the §5.1 recovery-time table by crashing each
+// component of a live platform `trials` times and measuring recovery:
+//
+//	API:      replica killed; recovery = replica re-registered.
+//	LCM:      same for an LCM replica.
+//	Guardian: pod killed; recovery = replacement guardian pod Running.
+//	Helper:   pod killed; recovery = replacement helper pod Running.
+//	Learner:  pod killed; recovery = replacement learner pod Running.
+func Table3(trials int) ([]Table3Row, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	rng := sim.NewRNG(33)
+	// Paper-calibrated component start latencies (scaled down 1000x).
+	startDelay := func(podType string) time.Duration {
+		ms := func(lo, hi float64) time.Duration {
+			return time.Duration(rng.Uniform(lo, hi) * float64(time.Second) / table3Scale)
+		}
+		switch podType {
+		case core.PodTypeGuardian:
+			return ms(0.9, 1.7) // guardians are quick single-step creations
+		case core.PodTypeHelper:
+			return ms(2.6, 3.6)
+		case core.PodTypeLearner:
+			// "binding to the Object Storage Service and persistent NFS
+			// volumes takes longer" (§5.1)
+			return ms(9, 19)
+		default:
+			return ms(0.1, 0.3)
+		}
+	}
+	p, err := core.NewPlatform(core.Config{
+		Seed:            33,
+		StartDelay:      startDelay,
+		APIRestartDelay: time.Duration(3.8 * float64(time.Second) / table3Scale),
+		LCMRestartDelay: time.Duration(4.8 * float64(time.Second) / table3Scale),
+		TimeCompression: 1e-4,
+		PollInterval:    time.Millisecond,
+		// Production K8s reacts sub-second; at 1000x compression the
+		// control loops must run at ~1ms or they dominate the
+		// measurement.
+		SchedulerInterval: time.Millisecond,
+		ResyncInterval:    time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Stop()
+	p.AddNode("node0", "K80", 4, 32, 256<<10)
+	p.AddNode("node1", "K80", 4, 32, 256<<10)
+	p.Store.EnsureBucket("datasets")
+	if err := p.Store.Put("datasets", "d/shard-0", make([]byte, 1<<20)); err != nil {
+		return nil, err
+	}
+	client := p.Client()
+	jobID, err := client.Submit(context.Background(), core.Manifest{
+		Name: "recovery-probe", User: "expt",
+		Framework: perf.Caffe, Model: perf.VGG16,
+		Learners: 1, GPUsPerLearner: 1, GPUType: perf.K80,
+		Iterations: 5_000_000, CheckpointEvery: 1000,
+		DataBucket: "datasets", DataPrefix: "d/",
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := client.WaitForStatus(ctx, jobID, core.StatusProcessing, time.Millisecond); err != nil {
+		return nil, fmt.Errorf("expt: probe job never ran: %w", err)
+	}
+
+	measure := func(name string, crash func() (recovered func() bool)) (Table3Row, error) {
+		row := Table3Row{Component: name}
+		var total time.Duration
+		for i := 0; i < trials; i++ {
+			recovered := crash()
+			start := time.Now()
+			deadline := start.Add(30 * time.Second)
+			for !recovered() {
+				if time.Now().After(deadline) {
+					return row, fmt.Errorf("expt: %s did not recover", name)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			d := time.Since(start) * table3Scale
+			if i == 0 || d < row.Min {
+				row.Min = d
+			}
+			if d > row.Max {
+				row.Max = d
+			}
+			total += d
+			// Let the platform settle between trials.
+			time.Sleep(30 * time.Millisecond)
+		}
+		row.Mean = total / time.Duration(trials)
+		return row, nil
+	}
+
+	// podRecovered detects a replacement pod Running. StatefulSet and
+	// Deployment pods are recreated under the same name, so detection
+	// uses the restart counter; Job pods (guardians) get a new attempt
+	// name.
+	podRecovered := func(prefix, victim string, victimRestarts int) func() bool {
+		return func() bool {
+			for _, pod := range p.Kube.Store().ListPods(prefix) {
+				if pod.Status.Phase != "Running" {
+					continue
+				}
+				if pod.Name != victim || pod.Status.Restarts > victimRestarts {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	var rows []Table3Row
+	apiRow, err := measure("API", func() func() bool {
+		before := p.Metrics.Counter("api.restarts")
+		p.CrashAPI(0)
+		return func() bool { return p.Metrics.Counter("api.restarts") > before }
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, apiRow)
+
+	lcmRow, err := measure("LCM", func() func() bool {
+		before := p.Metrics.Counter("lcm.restarts")
+		p.CrashLCM(1)
+		return func() bool { return p.Metrics.Counter("lcm.restarts") > before }
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, lcmRow)
+
+	crashPod := func(prefix string) func() func() bool {
+		return func() func() bool {
+			pods := p.Kube.Store().ListPods(prefix)
+			victim := ""
+			restarts := 0
+			for _, pod := range pods {
+				if pod.Status.Phase == "Running" {
+					victim = pod.Name
+					restarts = pod.Status.Restarts
+					break
+				}
+			}
+			if victim != "" {
+				p.Kube.KillPod(victim, "expt")
+			}
+			return podRecovered(prefix, victim, restarts)
+		}
+	}
+	guardianRow, err := measure("Guardian", crashPod("guardian-"+jobID+"-attempt-"))
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, guardianRow)
+
+	helperRow, err := measure("Helper", crashPod("lhelper-"+jobID+"-"))
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, helperRow)
+
+	learnerRow, err := measure("Learner", crashPod("learner-"+jobID+"-"))
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, learnerRow)
+
+	client.Terminate(context.Background(), jobID) //nolint:errcheck
+	return rows, nil
+}
+
+// Table3Render formats the measured recovery bands.
+func Table3Render(trials int) (*Table, error) {
+	rows, err := Table3(trials)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table 3: Time taken to recover from crash failures, by component",
+		Header: []string{"Component", "Time to recover (min-max)", "mean"},
+		Caption: fmt.Sprintf("Paper: API 3-5s, LCM 4-6s, Guardian 1-2s, Helper 3-4s, Learner 10-20s. "+
+			"Measured on the live platform with restart delays scaled %dx (reported unscaled).", table3Scale),
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Component,
+			fmt.Sprintf("%.1fs-%.1fs", r.Min.Seconds(), r.Max.Seconds()),
+			fmt.Sprintf("%.1fs", r.Mean.Seconds()),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,354 @@
+package kube
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/sched"
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// Runtime is a pod's containerized process: it runs until completion or
+// until stop is closed (kill/eviction), returning an exit code.
+// 0 means success; anything else marks the pod Failed.
+type Runtime func(ctx *PodContext) int
+
+// PodContext is handed to a pod's Runtime.
+type PodContext struct {
+	// Pod is a snapshot of the pod at start time.
+	Pod *Pod
+	// Node is the machine the pod runs on.
+	Node string
+	// Stop is closed when the pod is killed or its node dies.
+	Stop <-chan struct{}
+	// Cluster allows the process to observe cluster state (used by
+	// learner processes to wait for their peers, mirroring distributed
+	// frameworks blocking on worker rendezvous).
+	Cluster *Cluster
+	// Clock is the cluster clock.
+	Clock sim.Clock
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Clock drives all timing; defaults to the wall clock.
+	Clock sim.Clock
+	// RNG seeds scheduling randomness (BSA); defaults to seed 1.
+	RNG *sim.RNG
+	// PodPolicy places pods one at a time when gang scheduling is off or
+	// for non-gang pods. Defaults to Spread (the Kubernetes default the
+	// paper started from).
+	PodPolicy sched.PodPolicy
+	// GangPolicy, when non-nil, places gang pods atomically.
+	GangPolicy sched.GangPolicy
+	// SchedulerInterval is the scheduling loop period. Default 5ms.
+	SchedulerInterval time.Duration
+	// ResyncInterval is the controller reconcile period. Default 10ms.
+	ResyncInterval time.Duration
+	// HeartbeatInterval is the kubelet heartbeat period. Default 20ms.
+	HeartbeatInterval time.Duration
+	// NodeGracePeriod is how stale a heartbeat may be before the node is
+	// marked NotReady and its pods evicted. Default 100ms.
+	NodeGracePeriod time.Duration
+	// StartDelay returns the container start latency for a pod type
+	// (image pull + volume bind + container create). The Table 3
+	// experiment configures the paper's observed values. Default: 1ms.
+	StartDelay func(podType string) time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Clock == nil {
+		c.Clock = sim.NewRealClock()
+	}
+	if c.RNG == nil {
+		c.RNG = sim.NewRNG(1)
+	}
+	if c.PodPolicy == nil {
+		c.PodPolicy = sched.Spread{}
+	}
+	if c.SchedulerInterval <= 0 {
+		c.SchedulerInterval = 5 * time.Millisecond
+	}
+	if c.ResyncInterval <= 0 {
+		c.ResyncInterval = 10 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.NodeGracePeriod <= 0 {
+		c.NodeGracePeriod = 100 * time.Millisecond
+	}
+	if c.StartDelay == nil {
+		c.StartDelay = func(string) time.Duration { return time.Millisecond }
+	}
+}
+
+// Cluster is a running orchestrator instance.
+type Cluster struct {
+	cfg   Config
+	store *Store
+
+	mu       sync.Mutex
+	runtimes map[string]Runtime
+	kubelets map[string]*kubelet
+	podStops map[string]*podStop
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	// deletionsByNodeFailure counts pods deleted by eviction, for the
+	// Fig. 7/8 analytics.
+	deletionsByNodeFailure int64
+	totalDeletions         int64
+}
+
+// NewCluster boots an orchestrator with no nodes.
+func NewCluster(cfg Config) *Cluster {
+	cfg.defaults()
+	c := &Cluster{
+		cfg:      cfg,
+		store:    NewStore(),
+		runtimes: make(map[string]Runtime),
+		kubelets: make(map[string]*kubelet),
+		podStops: make(map[string]*podStop),
+		stopCh:   make(chan struct{}),
+	}
+	c.wg.Add(4)
+	go func() { defer c.wg.Done(); c.schedulerLoop() }()
+	go func() { defer c.wg.Done(); c.controllerLoop() }()
+	go func() { defer c.wg.Done(); c.nodeControllerLoop() }()
+	go func() { defer c.wg.Done(); c.kubeletStartLoop() }()
+	return c
+}
+
+// Store exposes the API-server state.
+func (c *Cluster) Store() *Store { return c.store }
+
+// Clock returns the cluster clock.
+func (c *Cluster) Clock() sim.Clock { return c.cfg.Clock }
+
+// RegisterRuntime installs a named pod process.
+func (c *Cluster) RegisterRuntime(name string, r Runtime) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runtimes[name] = r
+}
+
+func (c *Cluster) runtime(name string) Runtime {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runtimes[name]
+}
+
+// AddNode registers a machine and starts its kubelet.
+func (c *Cluster) AddNode(name, gpuType string, capacity sched.Resources) {
+	now := c.cfg.Clock.Now()
+	c.store.PutNode(&Node{
+		Name: name, GPUType: gpuType, Capacity: capacity,
+		Ready: true, LastHeartbeat: now,
+	})
+	kl := newKubelet(c, name)
+	c.mu.Lock()
+	c.kubelets[name] = kl
+	c.mu.Unlock()
+	kl.start()
+}
+
+// CrashNode simulates a machine failure: the kubelet halts (heartbeats
+// stop, processes die). The node controller will notice and evict.
+func (c *Cluster) CrashNode(name string) {
+	c.mu.Lock()
+	kl := c.kubelets[name]
+	c.mu.Unlock()
+	if kl != nil {
+		kl.crash()
+	}
+}
+
+// RestoreNode brings a crashed machine back.
+func (c *Cluster) RestoreNode(name string) {
+	c.mu.Lock()
+	kl := c.kubelets[name]
+	c.mu.Unlock()
+	if kl != nil {
+		kl.restore()
+	}
+	c.store.UpdateNode(name, func(n *Node) {
+		n.Ready = true
+		n.LastHeartbeat = c.cfg.Clock.Now()
+	})
+}
+
+// CordonNode marks a node unschedulable (§5.5).
+func (c *Cluster) CordonNode(name string) {
+	c.store.UpdateNode(name, func(n *Node) { n.Cordoned = true })
+}
+
+// KillPod terminates a pod's process (kubectl delete-pod semantics); the
+// owning controller will recreate it. It reports whether the pod existed.
+func (c *Cluster) KillPod(name, reason string) bool {
+	c.mu.Lock()
+	stop, ok := c.podStops[name]
+	if ok {
+		delete(c.podStops, name)
+	}
+	c.mu.Unlock()
+	if ok {
+		stop.close()
+	}
+	// Pods not yet running are failed directly.
+	return c.store.UpdatePod(name, func(p *Pod) {
+		if !p.Terminated() && !ok {
+			p.Status.Phase = PodFailed
+			p.Status.Reason = reason
+			p.Status.FinishedAt = c.cfg.Clock.Now()
+		}
+	})
+}
+
+// DeletePod removes a pod object entirely, stopping its process first.
+func (c *Cluster) DeletePod(name, reason string) {
+	c.mu.Lock()
+	stop, ok := c.podStops[name]
+	if ok {
+		delete(c.podStops, name)
+	}
+	c.totalDeletions++
+	if reason == "NodeFailure" {
+		c.deletionsByNodeFailure++
+	}
+	c.mu.Unlock()
+	if ok {
+		stop.close()
+	}
+	c.store.Delete(KindPod, name)
+}
+
+// DeletionStats reports (deletions due to node failure, total deletions).
+func (c *Cluster) DeletionStats() (nodeFailure, total int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deletionsByNodeFailure, c.totalDeletions
+}
+
+// Snapshot builds the scheduler's cluster state: node free = capacity
+// minus demands of bound, non-terminated pods.
+func (c *Cluster) Snapshot() *sched.ClusterState {
+	nodes := c.store.ListNodes()
+	pods := c.store.ListPods("")
+	used := make(map[string]sched.Resources, len(nodes))
+	podCount := make(map[string]int, len(nodes))
+	for _, p := range pods {
+		if p.Status.Node == "" || p.Terminated() {
+			continue
+		}
+		used[p.Status.Node] = used[p.Status.Node].Add(p.Spec.Demand)
+		podCount[p.Status.Node]++
+	}
+	out := make([]*sched.Node, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, &sched.Node{
+			Name:          n.Name,
+			GPUType:       n.GPUType,
+			Capacity:      n.Capacity,
+			Free:          n.Capacity.Sub(used[n.Name]),
+			Unschedulable: !n.Schedulable(),
+			Pods:          podCount[n.Name],
+		})
+	}
+	return sched.NewClusterState(out)
+}
+
+// GPUUtilization returns (allocated, capacity) GPUs — the metric FfDL
+// monitors for cluster sizing (§3.7).
+func (c *Cluster) GPUUtilization() (allocated, capacity int) {
+	cs := c.Snapshot()
+	free, cap_ := cs.TotalGPUs()
+	return cap_ - free, cap_
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	select {
+	case <-c.stopCh:
+		return
+	default:
+	}
+	close(c.stopCh)
+	c.mu.Lock()
+	kls := make([]*kubelet, 0, len(c.kubelets))
+	for _, kl := range c.kubelets {
+		kls = append(kls, kl)
+	}
+	c.mu.Unlock()
+	// Kubelets own their pods' stop channels: stopping them closes every
+	// running pod's channel exactly once and unregisters it.
+	for _, kl := range kls {
+		kl.stop()
+	}
+	// Anything left was registered but never picked up by a kubelet.
+	c.mu.Lock()
+	stops := make([]*podStop, 0, len(c.podStops))
+	for name, stop := range c.podStops {
+		stops = append(stops, stop)
+		delete(c.podStops, name)
+	}
+	c.mu.Unlock()
+	for _, stop := range stops {
+		stop.close()
+	}
+	c.wg.Wait()
+}
+
+// podStop is an idempotently-closable kill signal for one pod process.
+type podStop struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newPodStop() *podStop { return &podStop{ch: make(chan struct{})} }
+
+func (p *podStop) close() { p.once.Do(func() { close(p.ch) }) }
+
+// registerPodStop installs the kill channel for a starting pod; it
+// returns false if the cluster is stopping.
+func (c *Cluster) registerPodStop(name string, stop *podStop) bool {
+	select {
+	case <-c.stopCh:
+		return false
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.podStops[name] = stop
+	return true
+}
+
+func (c *Cluster) unregisterPodStop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.podStops, name)
+}
+
+// unregisterPodStop2 removes the entry only if it still belongs to this
+// incarnation.
+func (c *Cluster) unregisterPodStop2(name string, stop *podStop) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.podStops[name] == stop {
+		delete(c.podStops, name)
+	}
+}
+
+func (c *Cluster) recordEvent(evType EventType, reason, kind, object, podType, msg string) {
+	c.store.RecordEvent(Event{
+		Time: c.cfg.Clock.Now(), Type: evType, Reason: reason,
+		Kind: kind, Object: object, PodType: podType, Message: msg,
+	})
+}
+
+// fmtPodName builds controller-owned pod names.
+func fmtPodName(owner string, ordinal int) string {
+	return fmt.Sprintf("%s-%d", owner, ordinal)
+}

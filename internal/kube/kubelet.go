@@ -1,0 +1,247 @@
+package kube
+
+import (
+	"sync"
+)
+
+// kubelet runs the pods bound to one node: it transitions them
+// Pending→Running after the container start delay, executes their
+// Runtime, and reports heartbeats. Crashing the kubelet models a worker
+// failure: heartbeats stop and every process on the node dies.
+type kubelet struct {
+	cluster *Cluster
+	node    string
+
+	mu      sync.Mutex
+	crashed bool
+	// running tracks per-pod stop channels for node-crash kill.
+	running map[string]*podStop
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newKubelet(c *Cluster, node string) *kubelet {
+	return &kubelet{
+		cluster: c,
+		node:    node,
+		running: make(map[string]*podStop),
+		quit:    make(chan struct{}),
+	}
+}
+
+func (k *kubelet) start() {
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		k.heartbeatLoop()
+	}()
+}
+
+// heartbeatLoop reports node health; a crashed kubelet stays silent.
+func (k *kubelet) heartbeatLoop() {
+	ticker := k.cluster.cfg.Clock.NewTicker(k.cluster.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-k.quit:
+			return
+		case <-k.cluster.stopCh:
+			return
+		case <-ticker.C:
+			k.mu.Lock()
+			crashed := k.crashed
+			k.mu.Unlock()
+			if crashed {
+				continue
+			}
+			now := k.cluster.cfg.Clock.Now()
+			k.cluster.store.UpdateNode(k.node, func(n *Node) {
+				n.LastHeartbeat = now
+				n.Ready = true
+			})
+		}
+	}
+}
+
+// crash kills everything on the node and silences heartbeats.
+func (k *kubelet) crash() {
+	k.mu.Lock()
+	k.crashed = true
+	stops := make([]*podStop, 0, len(k.running))
+	for name, stop := range k.running {
+		stops = append(stops, stop)
+		delete(k.running, name)
+		k.cluster.unregisterPodStop(name)
+	}
+	k.mu.Unlock()
+	for _, stop := range stops {
+		stop.close()
+	}
+}
+
+func (k *kubelet) restore() {
+	k.mu.Lock()
+	k.crashed = false
+	k.mu.Unlock()
+}
+
+func (k *kubelet) isCrashed() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.crashed
+}
+
+func (k *kubelet) stop() {
+	select {
+	case <-k.quit:
+	default:
+		close(k.quit)
+	}
+	k.crash()
+	k.wg.Wait()
+}
+
+// kubeletStartLoop (on the cluster) watches for pods that are bound but
+// not yet started and hands them to their node's kubelet. A single loop
+// keeps goroutine count low at cluster sizes of hundreds of nodes.
+func (c *Cluster) kubeletStartLoop() {
+	events, cancel := c.store.Watch(KindPod)
+	defer cancel()
+	ticker := c.cfg.Clock.NewTicker(c.cfg.ResyncInterval)
+	defer ticker.Stop()
+	// started maps pod name -> UID of the incarnation already handed to
+	// a kubelet, so a recreated pod (same name, fresh UID) starts again
+	// while duplicate watch events for one incarnation are ignored.
+	started := make(map[string]uint64)
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case ev := <-events:
+			if ev.Type == WatchDeleted {
+				delete(started, ev.Name)
+				continue
+			}
+			if p, ok := ev.Object.(*Pod); ok {
+				c.maybeStartPod(p, started)
+			}
+		case <-ticker.C:
+			for _, p := range c.store.ListPods("") {
+				c.maybeStartPod(p, started)
+			}
+		}
+	}
+}
+
+func (c *Cluster) maybeStartPod(p *Pod, started map[string]uint64) {
+	if p.Status.Node == "" || p.Status.Phase != PodPending || started[p.Name] == p.UID {
+		return
+	}
+	c.mu.Lock()
+	kl := c.kubelets[p.Status.Node]
+	c.mu.Unlock()
+	if kl == nil || kl.isCrashed() {
+		return
+	}
+	started[p.Name] = p.UID
+	kl.wg.Add(1)
+	go func(p *Pod) {
+		defer kl.wg.Done()
+		kl.runPod(p)
+	}(p.Clone())
+}
+
+// runPod executes one pod's lifecycle on the node.
+func (k *kubelet) runPod(p *Pod) {
+	c := k.cluster
+	// Container start: image pull, volume binds, container create. This
+	// is the component Table 3 measures (learners take 10-20s because
+	// "binding to the Object Storage Service and persistent NFS volumes
+	// takes longer").
+	c.cfg.Clock.Sleep(c.cfg.StartDelay(p.Spec.Type))
+
+	stop := newPodStop()
+	k.mu.Lock()
+	if k.crashed {
+		k.mu.Unlock()
+		return
+	}
+	k.running[p.Name] = stop
+	k.mu.Unlock()
+	if !c.registerPodStop(p.Name, stop) {
+		return
+	}
+
+	now := c.cfg.Clock.Now()
+	updated := false
+	alive := c.store.UpdatePod(p.Name, func(sp *Pod) {
+		if sp.UID != p.UID {
+			return // a newer incarnation owns this name now
+		}
+		updated = true
+		sp.Status.Phase = PodRunning
+		sp.Status.StartedAt = now
+	})
+	if !alive || !updated {
+		// Pod deleted or replaced while starting.
+		k.forget(p.Name, stop)
+		c.unregisterPodStop2(p.Name, stop)
+		return
+	}
+	c.recordEvent(EventNormal, "Started", KindPod, p.Name, p.Spec.Type, "container started on "+k.node)
+
+	exit := 0
+	rt := c.runtime(p.Spec.Runtime)
+	if rt != nil {
+		exit = rt(&PodContext{Pod: p, Node: k.node, Stop: stop.ch, Cluster: c, Clock: c.cfg.Clock})
+	} else {
+		// Default process: block until killed.
+		<-stop.ch
+		exit = 137
+	}
+	k.forget(p.Name, stop)
+
+	select {
+	case <-stop.ch:
+		// Killed (node crash, eviction, or KillPod): pod is Failed
+		// unless it already finished. Guarded by UID so a dying
+		// incarnation never clobbers its same-named replacement.
+		finished := c.cfg.Clock.Now()
+		c.store.UpdatePod(p.Name, func(sp *Pod) {
+			if sp.UID != p.UID || sp.Terminated() {
+				return
+			}
+			sp.Status.Phase = PodFailed
+			sp.Status.ExitCode = 137
+			sp.Status.Reason = "Killed"
+			sp.Status.FinishedAt = finished
+		})
+		return
+	default:
+	}
+	phase := PodSucceeded
+	if exit != 0 {
+		phase = PodFailed
+	}
+	finished := c.cfg.Clock.Now()
+	c.store.UpdatePod(p.Name, func(sp *Pod) {
+		if sp.UID != p.UID {
+			return
+		}
+		sp.Status.Phase = phase
+		sp.Status.ExitCode = exit
+		sp.Status.FinishedAt = finished
+	})
+	c.unregisterPodStop2(p.Name, stop)
+}
+
+// forget removes this incarnation's stop entry; a pointer match keeps a
+// dying incarnation from deleting its same-named replacement's entry.
+func (k *kubelet) forget(podName string, stop *podStop) {
+	k.mu.Lock()
+	if k.running[podName] == stop {
+		delete(k.running, podName)
+	}
+	k.mu.Unlock()
+}

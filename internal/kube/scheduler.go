@@ -1,0 +1,147 @@
+package kube
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ffdl/ffdl/internal/sched"
+)
+
+// schedulerLoop is the cluster scheduler: every interval it snapshots
+// cluster state and tries to bind unscheduled pods.
+//
+// Without a GangPolicy it behaves like the stock Kubernetes scheduler —
+// "it considers each of the learner pods individually" (§3.5) — binding
+// whatever fits, which is what produces partial placements and
+// temporarily deadlocked learners. With a GangPolicy, pods carrying gang
+// information are bound all-or-nothing.
+func (c *Cluster) schedulerLoop() {
+	ticker := c.cfg.Clock.NewTicker(c.cfg.SchedulerInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+			c.scheduleOnce()
+		}
+	}
+}
+
+// scheduleOnce runs one scheduling pass.
+func (c *Cluster) scheduleOnce() {
+	pods := c.store.ListPods("")
+	var pending []*Pod
+	for _, p := range pods {
+		if p.Status.Phase == PodPending && p.Status.Node == "" {
+			pending = append(pending, p)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	cs := c.Snapshot()
+
+	if c.cfg.GangPolicy != nil {
+		c.scheduleGangs(pending, cs)
+		return
+	}
+	c.schedulePodAtATime(pending, cs)
+}
+
+// schedulePodAtATime is the stock behaviour: bind each pod greedily, in
+// the nondeterministic order the paper blames for partial gang
+// placements ("the order in which learner pods are queued by K8S for
+// scheduling is non deterministic", §5.3).
+func (c *Cluster) schedulePodAtATime(pending []*Pod, cs *sched.ClusterState) {
+	c.cfg.RNG.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
+	for _, p := range pending {
+		spec := toSchedPod(p)
+		nodeName, fail := c.cfg.PodPolicy.PlacePod(spec, cs)
+		if fail != nil {
+			c.recordEvent(EventWarning, "FailedScheduling", KindPod, p.Name, p.Spec.Type,
+				fmt.Sprintf("%s: %s", fail.Reason, fail.Message))
+			continue
+		}
+		cs.Assign(nodeName, p.Spec.Demand)
+		c.bindPod(p.Name, nodeName)
+	}
+}
+
+// scheduleGangs groups gang pods by JobID and binds complete gangs
+// atomically; non-gang pods still bind one at a time.
+func (c *Cluster) scheduleGangs(pending []*Pod, cs *sched.ClusterState) {
+	gangs := make(map[string][]*Pod)
+	var loose []*Pod
+	for _, p := range pending {
+		if p.Spec.GangSize > 0 && p.Spec.JobID != "" {
+			gangs[p.Spec.JobID] = append(gangs[p.Spec.JobID], p)
+		} else {
+			loose = append(loose, p)
+		}
+	}
+	// Deterministic order: by job id. (FCFS arrival ordering is enforced
+	// by the FfDL dispatcher above this layer; within one pass order
+	// only affects which gang grabs contended space first.)
+	jobIDs := make([]string, 0, len(gangs))
+	for id := range gangs {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Strings(jobIDs)
+	for _, id := range jobIDs {
+		members := gangs[id]
+		gangSize := members[0].Spec.GangSize
+		bound := c.boundGangMembers(id)
+		if len(members)+bound < gangSize {
+			// Gang incomplete: pods still being instantiated; hold the
+			// assignment (the paper's "reservation" corner case) by not
+			// binding anyone yet.
+			continue
+		}
+		g := &sched.Gang{JobID: id}
+		for _, p := range members {
+			g.Pods = append(g.Pods, *toSchedPod(p))
+		}
+		as, fail := c.cfg.GangPolicy.PlaceGang(g, cs)
+		if fail != nil {
+			c.recordEvent(EventWarning, "FailedScheduling", KindPod, members[0].Name,
+				members[0].Spec.Type, fmt.Sprintf("%s: %s", fail.Reason, fail.Message))
+			continue
+		}
+		for i, a := range as {
+			cs.Assign(a.Node, g.Pods[i].Demand)
+			c.bindPod(a.Pod, a.Node)
+		}
+	}
+	c.schedulePodAtATime(loose, cs)
+}
+
+// boundGangMembers counts already-bound members of a gang (e.g. after a
+// single member was restarted).
+func (c *Cluster) boundGangMembers(jobID string) int {
+	n := 0
+	for _, p := range c.store.ListPods("") {
+		if p.Spec.JobID == jobID && p.Spec.GangSize > 0 && p.Status.Node != "" && !p.Terminated() {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cluster) bindPod(name, nodeName string) {
+	now := c.cfg.Clock.Now()
+	c.store.UpdatePod(name, func(p *Pod) {
+		p.Status.Node = nodeName
+		p.Status.ScheduledAt = now
+	})
+	c.recordEvent(EventNormal, "Scheduled", KindPod, name, "", "bound to "+nodeName)
+}
+
+func toSchedPod(p *Pod) *sched.PodSpec {
+	return &sched.PodSpec{
+		Name:    p.Name,
+		JobID:   p.Spec.JobID,
+		Demand:  p.Spec.Demand,
+		GPUType: p.Spec.GPUType,
+	}
+}

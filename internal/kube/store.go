@@ -1,0 +1,285 @@
+package kube
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cloneObject deep-copies any stored object type.
+func cloneObject(obj any) any {
+	switch o := obj.(type) {
+	case *Pod:
+		return o.Clone()
+	case *Node:
+		return o.Clone()
+	case *StatefulSet:
+		return o.Clone()
+	case *Deployment:
+		return o.Clone()
+	case *Job:
+		return o.Clone()
+	case *NetworkPolicy:
+		c := *o
+		return &c
+	default:
+		return obj
+	}
+}
+
+// Store is the API-server state: typed object maps with watch streams.
+// All reads return deep copies; all writes replace whole objects —
+// the same interaction model controllers have with a real API server.
+type Store struct {
+	mu       sync.RWMutex
+	objects  map[string]map[string]any // kind -> name -> object
+	watchers []*storeWatcher
+	nextW    int
+	nextUID  uint64
+	events   []Event
+}
+
+type storeWatcher struct {
+	id     int
+	kind   string // "" = all kinds
+	ch     chan WatchEvent
+	closed bool
+}
+
+// Object kinds.
+const (
+	KindPod           = "Pod"
+	KindNode          = "Node"
+	KindStatefulSet   = "StatefulSet"
+	KindDeployment    = "Deployment"
+	KindJob           = "Job"
+	KindNetworkPolicy = "NetworkPolicy"
+)
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string]map[string]any)}
+}
+
+// Put creates or replaces an object. New pods default to the Pending
+// phase and get a fresh UID, mirroring API-server defaulting.
+func (s *Store) Put(kind, name string, obj any) {
+	s.mu.Lock()
+	if p, ok := obj.(*Pod); ok {
+		if p.Status.Phase == "" {
+			p.Status.Phase = PodPending
+		}
+		if p.UID == 0 {
+			s.nextUID++
+			p.UID = s.nextUID
+		}
+	}
+	m, ok := s.objects[kind]
+	if !ok {
+		m = make(map[string]any)
+		s.objects[kind] = m
+	}
+	_, existed := m[name]
+	m[name] = cloneObject(obj)
+	evType := WatchAdded
+	if existed {
+		evType = WatchModified
+	}
+	s.notifyLocked(WatchEvent{Type: evType, Kind: kind, Name: name, Object: cloneObject(obj)})
+	s.mu.Unlock()
+}
+
+// Get returns a deep copy of an object.
+func (s *Store) Get(kind, name string) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[kind][name]
+	if !ok {
+		return nil, false
+	}
+	return cloneObject(obj), true
+}
+
+// Delete removes an object; it reports whether it existed.
+func (s *Store) Delete(kind, name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.objects[kind]
+	if _, ok := m[name]; !ok {
+		return false
+	}
+	delete(m, name)
+	s.notifyLocked(WatchEvent{Type: WatchDeleted, Kind: kind, Name: name})
+	return true
+}
+
+// List returns deep copies of all objects of a kind whose name has the
+// given prefix, name-sorted.
+func (s *Store) List(kind, prefix string) []any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.objects[kind]))
+	for name := range s.objects[kind] {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]any, 0, len(names))
+	for _, name := range names {
+		out = append(out, cloneObject(s.objects[kind][name]))
+	}
+	return out
+}
+
+// Watch subscribes to changes of one kind ("" = all). Cancel releases
+// the watcher.
+func (s *Store) Watch(kind string) (<-chan WatchEvent, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextW++
+	w := &storeWatcher{id: s.nextW, kind: kind, ch: make(chan WatchEvent, 512)}
+	s.watchers = append(s.watchers, w)
+	return w.ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, x := range s.watchers {
+			if x.id == w.id {
+				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+				if !x.closed {
+					x.closed = true
+					close(x.ch)
+				}
+				return
+			}
+		}
+	}
+}
+
+func (s *Store) notifyLocked(ev WatchEvent) {
+	for _, w := range s.watchers {
+		if w.closed || (w.kind != "" && w.kind != ev.Kind) {
+			continue
+		}
+		select {
+		case w.ch <- ev:
+		default:
+			// Drop for slow watchers; controllers resync periodically.
+		}
+	}
+}
+
+// RecordEvent appends a cluster event (FailedScheduling, Killing, ...).
+func (s *Store) RecordEvent(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, ev)
+}
+
+// Events returns a copy of all recorded events, optionally filtered by
+// reason.
+func (s *Store) Events(reason string) []Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Event, 0, len(s.events))
+	for _, ev := range s.events {
+		if reason == "" || ev.Reason == reason {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// --- typed convenience accessors ---
+
+// GetPod returns a pod copy.
+func (s *Store) GetPod(name string) (*Pod, bool) {
+	obj, ok := s.Get(KindPod, name)
+	if !ok {
+		return nil, false
+	}
+	return obj.(*Pod), true
+}
+
+// PutPod stores a pod.
+func (s *Store) PutPod(p *Pod) { s.Put(KindPod, p.Name, p) }
+
+// ListPods lists pods by name prefix.
+func (s *Store) ListPods(prefix string) []*Pod {
+	objs := s.List(KindPod, prefix)
+	out := make([]*Pod, len(objs))
+	for i, o := range objs {
+		out[i] = o.(*Pod)
+	}
+	return out
+}
+
+// GetNode returns a node copy.
+func (s *Store) GetNode(name string) (*Node, bool) {
+	obj, ok := s.Get(KindNode, name)
+	if !ok {
+		return nil, false
+	}
+	return obj.(*Node), true
+}
+
+// PutNode stores a node.
+func (s *Store) PutNode(n *Node) { s.Put(KindNode, n.Name, n) }
+
+// ListNodes lists all nodes.
+func (s *Store) ListNodes() []*Node {
+	objs := s.List(KindNode, "")
+	out := make([]*Node, len(objs))
+	for i, o := range objs {
+		out[i] = o.(*Node)
+	}
+	return out
+}
+
+// UpdatePod applies fn to the stored pod under the store lock and
+// republishes it; it reports whether the pod existed. This is the
+// compare-free variant of the Kubernetes update-conflict loop, adequate
+// because our controllers partition ownership of status fields.
+func (s *Store) UpdatePod(name string, fn func(*Pod)) bool {
+	s.mu.Lock()
+	obj, ok := s.objects[KindPod][name]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	p := obj.(*Pod)
+	fn(p)
+	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindPod, Name: name, Object: p.Clone()})
+	s.mu.Unlock()
+	return true
+}
+
+// UpdateNode applies fn to a stored node.
+func (s *Store) UpdateNode(name string, fn func(*Node)) bool {
+	s.mu.Lock()
+	obj, ok := s.objects[KindNode][name]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	n := obj.(*Node)
+	fn(n)
+	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindNode, Name: name, Object: n.Clone()})
+	s.mu.Unlock()
+	return true
+}
+
+// UpdateJob applies fn to a stored Job.
+func (s *Store) UpdateJob(name string, fn func(*Job)) bool {
+	s.mu.Lock()
+	obj, ok := s.objects[KindJob][name]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	j := obj.(*Job)
+	fn(j)
+	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindJob, Name: name, Object: j.Clone()})
+	s.mu.Unlock()
+	return true
+}

@@ -1,0 +1,342 @@
+// Package learner implements the simulated DL training process that runs
+// inside FfDL's learner containers. The platform treats user code as a
+// black box (§2: "it is not feasible to analyze the user code"), so the
+// simulation only needs to produce the externally observable behaviour a
+// real Caffe/TensorFlow learner produces:
+//
+//   - it streams its dataset from the mounted object store (load phase),
+//   - it rendezvouses with its peer learners before making progress —
+//     which is why partially scheduled jobs deadlock (§3.5),
+//   - it emits stdout logs and periodic checkpoints to the object store,
+//   - it writes its status and exit code to files on the shared NFS
+//     volume, where the helper pod's controller container observes them
+//     (§3.8),
+//   - on restart it resumes from the latest checkpoint found in its
+//     bucket (§3.8 "Checkpointing").
+//
+// Training time is modeled with internal/perf throughputs, compressed by
+// a configurable factor so tests replay hours of training in
+// milliseconds.
+package learner
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/nfs"
+	"github.com/ffdl/ffdl/internal/objstore"
+	"github.com/ffdl/ffdl/internal/perf"
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// File layout on the shared NFS volume. The controller reads these.
+const (
+	// StatusFile is "learners/<ordinal>/status": one of the LearnerStatus
+	// strings.
+	statusPattern = "learners/%d/status"
+	// ExitFile is "learners/<ordinal>/exit": the process exit code,
+	// written exactly once at termination.
+	exitPattern = "learners/%d/exit"
+	// ReadyFile marks rendezvous arrival.
+	readyPattern = "learners/%d/ready"
+	// LogFile accumulates stdout.
+	logPattern = "learners/%d/stdout.log"
+	// progressPattern records the iteration counter for monitoring.
+	progressPattern = "learners/%d/progress"
+)
+
+// Status strings written to the volume.
+const (
+	StatusDownloading = "DOWNLOADING"
+	StatusWaiting     = "WAITING_FOR_PEERS"
+	StatusProcessing  = "PROCESSING"
+	StatusStoring     = "STORING"
+	StatusCompleted   = "COMPLETED"
+	StatusFailed      = "FAILED"
+)
+
+// Spec configures one learner process.
+type Spec struct {
+	// JobID and Ordinal identify this learner within its job.
+	JobID   string
+	Ordinal int
+	// Learners is the gang size (for rendezvous).
+	Learners int
+
+	// Training configuration.
+	Model      perf.Model
+	Framework  perf.Framework
+	GPUType    perf.GPUType
+	GPUs       int
+	CPUThreads int
+	BatchSize  int
+	// Iterations is the total training iterations for the job.
+	Iterations int
+	// CheckpointEvery is the checkpoint interval in iterations; 0
+	// disables checkpointing.
+	CheckpointEvery int
+
+	// Data plane.
+	Volume     *nfs.Volume
+	Mount      *objstore.Mount
+	DataBucket string
+	DataPrefix string
+	// ResultStore receives checkpoints and the final model.
+	ResultStore  *objstore.Service
+	ResultBucket string
+
+	// Clock and compression: one modeled second costs
+	// TimeCompression real seconds of Clock.Sleep. Zero compresses
+	// fully (no sleeps) — still yielding between iterations.
+	Clock           sim.Clock
+	TimeCompression float64
+
+	// RendezvousTimeout bounds how long the learner waits for peers
+	// before giving up (the "temporarily deadlocked" state, §3.5; real
+	// frameworks eventually fail). Zero waits forever.
+	RendezvousTimeout time.Duration
+}
+
+// Process is a running learner.
+type Process struct {
+	spec Spec
+}
+
+// New returns a learner process for the spec.
+func New(spec Spec) *Process {
+	if spec.Clock == nil {
+		spec.Clock = sim.NewRealClock()
+	}
+	if spec.BatchSize <= 0 {
+		spec.BatchSize = 64
+	}
+	return &Process{spec: spec}
+}
+
+// path helpers
+func (p *Process) statusPath() string   { return fmt.Sprintf(statusPattern, p.spec.Ordinal) }
+func (p *Process) exitPath() string     { return fmt.Sprintf(exitPattern, p.spec.Ordinal) }
+func (p *Process) readyPath() string    { return fmt.Sprintf(readyPattern, p.spec.Ordinal) }
+func (p *Process) logPath() string      { return fmt.Sprintf(logPattern, p.spec.Ordinal) }
+func (p *Process) progressPath() string { return fmt.Sprintf(progressPattern, p.spec.Ordinal) }
+
+func (p *Process) setStatus(s string) {
+	p.spec.Volume.WriteFile(p.statusPath(), []byte(s)) //nolint:errcheck // volume release races job teardown
+}
+
+func (p *Process) logf(format string, args ...any) {
+	line := fmt.Sprintf("[%s learner-%d] ", p.spec.JobID, p.spec.Ordinal) +
+		fmt.Sprintf(format, args...) + "\n"
+	p.spec.Volume.AppendFile(p.logPath(), []byte(line)) //nolint:errcheck
+}
+
+// ckptKey formats a checkpoint object key; iteration is zero-padded so
+// lexicographic object listing yields chronological order and "latest =
+// last" (how FfDL finds the newest checkpoint, §3.8).
+func (p *Process) ckptKey(iter int) string {
+	return fmt.Sprintf("%s/checkpoints/ckpt-%09d", p.spec.JobID, iter)
+}
+
+// latestCheckpoint returns the iteration of the newest checkpoint, or 0.
+func (p *Process) latestCheckpoint() int {
+	if p.spec.ResultStore == nil {
+		return 0
+	}
+	objs, err := p.spec.ResultStore.List(p.spec.ResultBucket, p.spec.JobID+"/checkpoints/")
+	if err != nil || len(objs) == 0 {
+		return 0
+	}
+	last := objs[len(objs)-1].Key
+	idx := strings.LastIndex(last, "ckpt-")
+	if idx < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(last[idx+len("ckpt-"):])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// modeledSleep sleeps compressed modeled time, abortable by stop.
+func (p *Process) modeledSleep(modeled time.Duration, stop <-chan struct{}) bool {
+	real_ := time.Duration(float64(modeled) * p.spec.TimeCompression)
+	if real_ <= 0 {
+		return true
+	}
+	select {
+	case <-stop:
+		return false
+	case <-p.spec.Clock.After(real_):
+		return true
+	}
+}
+
+// Run executes the learner until completion or kill; it returns the
+// process exit code. The exit code is also written to the volume's exit
+// file (unless the process was killed mid-flight, exactly like a real
+// SIGKILL'd container, which is how the controller distinguishes crash
+// from completion).
+func (p *Process) Run(stop <-chan struct{}) int {
+	code, kill := p.run(stop)
+	if !kill {
+		// Graceful path: record exit for the controller.
+		p.spec.Volume.WriteFile(p.exitPath(), []byte(strconv.Itoa(code))) //nolint:errcheck
+		if code == 0 {
+			p.setStatus(StatusCompleted)
+		} else {
+			p.setStatus(StatusFailed)
+		}
+		// FfDL learner containers stay alive after finishing until the
+		// platform tears the job down; completion is signaled through
+		// the exit file, not the pod phase.
+		<-stop
+	}
+	return code
+}
+
+// run returns (exitCode, killedMidFlight).
+func (p *Process) run(stop <-chan struct{}) (int, bool) {
+	select {
+	case <-stop:
+		return 137, true
+	default:
+	}
+	// Phase 1: stream the dataset through the mounted object store.
+	p.setStatus(StatusDownloading)
+	p.logf("downloading dataset %s/%s", p.spec.DataBucket, p.spec.DataPrefix)
+	if p.spec.Mount != nil {
+		objs, err := p.spec.ResultStore.List(p.spec.DataBucket, p.spec.DataPrefix)
+		if err != nil {
+			p.logf("dataset list failed: %v", err)
+			return 1, false
+		}
+		for _, o := range objs {
+			if _, err := p.spec.Mount.ReadAll(o.Key); err != nil {
+				p.logf("dataset read %s failed: %v", o.Key, err)
+				return 1, false
+			}
+		}
+	}
+
+	// Phase 2: rendezvous with peers (synchronous data parallelism).
+	if p.spec.Learners > 1 {
+		p.setStatus(StatusWaiting)
+		p.spec.Volume.WriteFile(p.readyPath(), []byte("1")) //nolint:errcheck
+		if !p.waitForPeers(stop) {
+			select {
+			case <-stop:
+				return 137, true
+			default:
+			}
+			p.logf("rendezvous timeout: peers never arrived")
+			return 2, false
+		}
+	}
+
+	// Phase 3: train, resuming from the latest checkpoint.
+	start := p.latestCheckpoint()
+	if start > 0 {
+		p.logf("resuming from checkpoint at iteration %d", start)
+	}
+	p.setStatus(StatusProcessing)
+	cfg := perf.Config{
+		Model: p.spec.Model, Framework: p.spec.Framework, GPUType: p.spec.GPUType,
+		GPUsPerL: max(1, p.spec.GPUs), Learners: max(1, p.spec.Learners),
+		CPUThreads: p.spec.CPUThreads, BatchSize: p.spec.BatchSize,
+	}
+	thpt := perf.FfDLThroughput(cfg) / float64(max(1, p.spec.Learners))
+	if thpt <= 0 {
+		p.logf("invalid training configuration: %+v", cfg)
+		return 1, false
+	}
+	secPerIter := float64(p.spec.BatchSize) / thpt
+	logEvery := max(1, p.spec.Iterations/10)
+	for iter := start + 1; iter <= p.spec.Iterations; iter++ {
+		if !p.modeledSleep(time.Duration(secPerIter*float64(time.Second)), stop) {
+			return 137, true
+		}
+		select {
+		case <-stop:
+			return 137, true
+		default:
+		}
+		if iter%logEvery == 0 || iter == p.spec.Iterations {
+			p.logf("iteration %d/%d loss=%.4f images/sec=%.1f",
+				iter, p.spec.Iterations, 4.0/float64(1+iter), thpt)
+			p.spec.Volume.WriteFile(p.progressPath(), []byte(strconv.Itoa(iter))) //nolint:errcheck
+		}
+		if p.spec.CheckpointEvery > 0 && iter%p.spec.CheckpointEvery == 0 && p.spec.Ordinal == 0 {
+			if err := p.checkpoint(iter); err != nil {
+				p.logf("checkpoint at %d failed: %v", iter, err)
+			} else {
+				p.logf("checkpoint written at iteration %d", iter)
+			}
+		}
+	}
+
+	// Phase 4: store the trained model (learner 0 writes it).
+	p.setStatus(StatusStoring)
+	if p.spec.Ordinal == 0 && p.spec.ResultStore != nil {
+		key := fmt.Sprintf("%s/model/final.bin", p.spec.JobID)
+		if err := p.spec.ResultStore.Put(p.spec.ResultBucket, key, p.modelBytes(p.spec.Iterations)); err != nil {
+			p.logf("storing final model failed: %v", err)
+			return 1, false
+		}
+		p.logf("final model stored at %s", key)
+	}
+	return 0, false
+}
+
+// waitForPeers blocks until every gang member has written its ready
+// file. Returns false on timeout or kill.
+func (p *Process) waitForPeers(stop <-chan struct{}) bool {
+	var deadline time.Time
+	if p.spec.RendezvousTimeout > 0 {
+		deadline = p.spec.Clock.Now().Add(p.spec.RendezvousTimeout)
+	}
+	for {
+		ready := 0
+		for i := 0; i < p.spec.Learners; i++ {
+			if p.spec.Volume.Exists(fmt.Sprintf(readyPattern, i)) {
+				ready++
+			}
+		}
+		if ready == p.spec.Learners {
+			return true
+		}
+		if !deadline.IsZero() && p.spec.Clock.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-stop:
+			return false
+		case <-p.spec.Clock.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// checkpoint persists training state to the object store.
+func (p *Process) checkpoint(iter int) error {
+	if p.spec.ResultStore == nil {
+		return errors.New("learner: no result store configured")
+	}
+	return p.spec.ResultStore.Put(p.spec.ResultBucket, p.ckptKey(iter), p.modelBytes(iter))
+}
+
+// modelBytes fabricates a deterministic "model" blob whose content
+// encodes the iteration (so resume tests can verify which checkpoint was
+// loaded).
+func (p *Process) modelBytes(iter int) []byte {
+	return []byte(fmt.Sprintf("model(%s@%d)", p.spec.JobID, iter))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,737 @@
+// Package mongo implements the metadata store FfDL keeps job documents
+// in: a MongoDB-like in-process document database with collections,
+// filter/update operators, secondary indexes, and oplog-based
+// primary→secondary replication. The paper stores job metadata,
+// identifiers, resource requirements, user ids, status history and other
+// long-lived business artifacts here (§3.2); the API surface below covers
+// exactly that usage.
+package mongo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Doc is a BSON-like document. Values should be gob-friendly primitives,
+// nested Docs, or slices thereof.
+type Doc map[string]any
+
+// Clone deep-copies a document so callers cannot mutate stored state.
+func (d Doc) Clone() Doc {
+	out := make(Doc, len(d))
+	for k, v := range d {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+func cloneValue(v any) any {
+	switch x := v.(type) {
+	case Doc:
+		return x.Clone()
+	case map[string]any:
+		return Doc(x).Clone()
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = cloneValue(e)
+		}
+		return out
+	case []string:
+		out := make([]string, len(x))
+		copy(out, x)
+		return out
+	default:
+		return v
+	}
+}
+
+// lookupPath resolves a dotted field path ("status.phase").
+func lookupPath(d Doc, path string) (any, bool) {
+	parts := strings.Split(path, ".")
+	var cur any = d
+	for _, p := range parts {
+		m, ok := asDoc(cur)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func asDoc(v any) (Doc, bool) {
+	switch x := v.(type) {
+	case Doc:
+		return x, true
+	case map[string]any:
+		return Doc(x), true
+	default:
+		return nil, false
+	}
+}
+
+// setPath writes a dotted field path, creating intermediate documents.
+func setPath(d Doc, path string, value any) {
+	parts := strings.Split(path, ".")
+	cur := d
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := asDoc(cur[p])
+		if !ok {
+			next = Doc{}
+			cur[p] = next
+		}
+		cur = next
+	}
+	cur[parts[len(parts)-1]] = value
+}
+
+// compare orders two scalar values; ok=false when incomparable.
+func compare(a, b any) (int, bool) {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		return strings.Compare(as, bs), true
+	}
+	ab, aok := a.(bool)
+	bb, bok := b.(bool)
+	if aok && bok {
+		switch {
+		case ab == bb:
+			return 0, true
+		case !ab:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case float32:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// equal reports semantic equality across numeric widths.
+func equal(a, b any) bool {
+	if c, ok := compare(a, b); ok {
+		return c == 0
+	}
+	return a == b
+}
+
+// Filter is a query: field path → condition. A condition is either a
+// literal (equality) or an Op.
+type Filter map[string]any
+
+// Op is a comparison operator condition.
+type Op struct {
+	Kind  OpKind
+	Value any
+	List  []any // for OpIn
+}
+
+// OpKind enumerates filter operators.
+type OpKind int
+
+// Filter operators.
+const (
+	OpEq OpKind = iota + 1
+	OpNe
+	OpGt
+	OpGte
+	OpLt
+	OpLte
+	OpIn
+	OpExists
+)
+
+// Gt builds a $gt condition.
+func Gt(v any) Op { return Op{Kind: OpGt, Value: v} }
+
+// Gte builds a $gte condition.
+func Gte(v any) Op { return Op{Kind: OpGte, Value: v} }
+
+// Lt builds a $lt condition.
+func Lt(v any) Op { return Op{Kind: OpLt, Value: v} }
+
+// Lte builds a $lte condition.
+func Lte(v any) Op { return Op{Kind: OpLte, Value: v} }
+
+// Ne builds a $ne condition.
+func Ne(v any) Op { return Op{Kind: OpNe, Value: v} }
+
+// In builds an $in condition.
+func In(vs ...any) Op { return Op{Kind: OpIn, List: vs} }
+
+// Exists builds an $exists condition.
+func Exists(want bool) Op { return Op{Kind: OpExists, Value: want} }
+
+// Matches reports whether doc satisfies the filter.
+func (f Filter) Matches(d Doc) bool {
+	for path, cond := range f {
+		got, present := lookupPath(d, path)
+		op, isOp := cond.(Op)
+		if !isOp {
+			if !present || !equal(got, cond) {
+				return false
+			}
+			continue
+		}
+		switch op.Kind {
+		case OpExists:
+			want, _ := op.Value.(bool)
+			if present != want {
+				return false
+			}
+		case OpEq:
+			if !present || !equal(got, op.Value) {
+				return false
+			}
+		case OpNe:
+			if present && equal(got, op.Value) {
+				return false
+			}
+		case OpIn:
+			if !present {
+				return false
+			}
+			found := false
+			for _, v := range op.List {
+				if equal(got, v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		default:
+			if !present {
+				return false
+			}
+			c, ok := compare(got, op.Value)
+			if !ok {
+				return false
+			}
+			switch op.Kind {
+			case OpGt:
+				if c <= 0 {
+					return false
+				}
+			case OpGte:
+				if c < 0 {
+					return false
+				}
+			case OpLt:
+				if c >= 0 {
+					return false
+				}
+			case OpLte:
+				if c > 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Update describes a mutation.
+type Update struct {
+	// Set assigns field paths.
+	Set Doc
+	// Inc increments numeric fields.
+	Inc map[string]float64
+	// Push appends to array fields.
+	Push map[string]any
+	// Unset removes field paths.
+	Unset []string
+}
+
+func (u Update) apply(d Doc) {
+	for k, v := range u.Set {
+		setPath(d, k, cloneValue(v))
+	}
+	for k, delta := range u.Inc {
+		cur, _ := lookupPath(d, k)
+		f, _ := toFloat(cur)
+		setPath(d, k, f+delta)
+	}
+	for k, v := range u.Push {
+		cur, _ := lookupPath(d, k)
+		arr, _ := cur.([]any)
+		setPath(d, k, append(arr, cloneValue(v)))
+	}
+	for _, k := range u.Unset {
+		parts := strings.Split(k, ".")
+		cur := d
+		okPath := true
+		for _, p := range parts[:len(parts)-1] {
+			next, ok := asDoc(cur[p])
+			if !ok {
+				okPath = false
+				break
+			}
+			cur = next
+		}
+		if okPath {
+			delete(cur, parts[len(parts)-1])
+		}
+	}
+}
+
+// Errors.
+var (
+	// ErrNotFound reports that no document matched.
+	ErrNotFound = errors.New("mongo: document not found")
+	// ErrDuplicateID reports an insert with an existing _id.
+	ErrDuplicateID = errors.New("mongo: duplicate _id")
+)
+
+// Collection is a set of documents keyed by _id with optional secondary
+// hash indexes.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	docs    map[string]Doc
+	indexes map[string]map[string][]string // field -> value-string -> ids
+	seq     uint64
+	db      *DB
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// EnsureIndex builds a hash index over a field path to accelerate
+// equality queries (the paper indexes job history by user/org).
+func (c *Collection) EnsureIndex(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[field]; ok {
+		return
+	}
+	idx := make(map[string][]string)
+	for id, d := range c.docs {
+		if v, ok := lookupPath(d, field); ok {
+			key := fmt.Sprint(v)
+			idx[key] = append(idx[key], id)
+		}
+	}
+	c.indexes[field] = idx
+}
+
+func (c *Collection) indexAddLocked(d Doc, id string) {
+	for field, idx := range c.indexes {
+		if v, ok := lookupPath(d, field); ok {
+			key := fmt.Sprint(v)
+			idx[key] = append(idx[key], id)
+		}
+	}
+}
+
+func (c *Collection) indexRemoveLocked(d Doc, id string) {
+	for field, idx := range c.indexes {
+		if v, ok := lookupPath(d, field); ok {
+			key := fmt.Sprint(v)
+			ids := idx[key]
+			for i, x := range ids {
+				if x == id {
+					idx[key] = append(ids[:i], ids[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Insert stores a document, assigning _id when absent. It returns the
+// document id.
+func (c *Collection) Insert(d Doc) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stored := d.Clone()
+	id, _ := stored["_id"].(string)
+	if id == "" {
+		c.seq++
+		id = fmt.Sprintf("%s-%06d", c.name, c.seq)
+		stored["_id"] = id
+	}
+	if _, exists := c.docs[id]; exists {
+		return "", fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	c.docs[id] = stored
+	c.indexAddLocked(stored, id)
+	c.db.logOp(op{Kind: "insert", Coll: c.name, Doc: stored.Clone()})
+	return id, nil
+}
+
+// candidatesLocked returns ids potentially matching the filter, using an
+// index when an equality condition over an indexed field exists.
+func (c *Collection) candidatesLocked(f Filter) []string {
+	for field, cond := range f {
+		if _, isOp := cond.(Op); isOp {
+			continue
+		}
+		if idx, ok := c.indexes[field]; ok {
+			ids := idx[fmt.Sprint(cond)]
+			out := make([]string, len(ids))
+			copy(out, ids)
+			return out
+		}
+	}
+	out := make([]string, 0, len(c.docs))
+	for id := range c.docs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// FindOne returns the first matching document (in _id order for
+// determinism).
+func (c *Collection) FindOne(f Filter) (Doc, error) {
+	docs := c.Find(f, FindOpts{Limit: 1})
+	if len(docs) == 0 {
+		return nil, ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// FindOpts shape Find results.
+type FindOpts struct {
+	// SortBy is a field path; empty sorts by _id.
+	SortBy string
+	// Desc reverses the sort.
+	Desc bool
+	// Limit bounds the result count; 0 = unlimited.
+	Limit int
+}
+
+// Find returns copies of all matching documents.
+func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
+	c.mu.RLock()
+	ids := c.candidatesLocked(f)
+	matched := make([]Doc, 0, len(ids))
+	for _, id := range ids {
+		d, ok := c.docs[id]
+		if ok && f.Matches(d) {
+			matched = append(matched, d.Clone())
+		}
+	}
+	c.mu.RUnlock()
+
+	sortBy := opts.SortBy
+	if sortBy == "" {
+		sortBy = "_id"
+	}
+	sort.SliceStable(matched, func(i, j int) bool {
+		vi, _ := lookupPath(matched[i], sortBy)
+		vj, _ := lookupPath(matched[j], sortBy)
+		cmp, ok := compare(vi, vj)
+		if !ok {
+			cmp = strings.Compare(fmt.Sprint(vi), fmt.Sprint(vj))
+		}
+		if opts.Desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
+	if opts.Limit > 0 && len(matched) > opts.Limit {
+		matched = matched[:opts.Limit]
+	}
+	return matched
+}
+
+// Count returns the number of matching documents.
+func (c *Collection) Count(f Filter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, id := range c.candidatesLocked(f) {
+		if d, ok := c.docs[id]; ok && f.Matches(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// UpdateOne applies an update to the first matching document.
+func (c *Collection) UpdateOne(f Filter, u Update) error {
+	n, err := c.update(f, u, 1)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// UpdateMany applies an update to all matching documents, returning the
+// count updated.
+func (c *Collection) UpdateMany(f Filter, u Update) (int, error) {
+	return c.update(f, u, 0)
+}
+
+func (c *Collection) update(f Filter, u Update, limit int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.candidatesLocked(f)
+	sort.Strings(ids)
+	n := 0
+	for _, id := range ids {
+		d, ok := c.docs[id]
+		if !ok || !f.Matches(d) {
+			continue
+		}
+		c.indexRemoveLocked(d, id)
+		u.apply(d)
+		d["_id"] = id // _id is immutable
+		c.indexAddLocked(d, id)
+		c.db.logOp(op{Kind: "update", Coll: c.name, Doc: d.Clone()})
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n, nil
+}
+
+// Upsert updates the first match or inserts a new document from the
+// filter's equality fields plus the update's Set fields.
+func (c *Collection) Upsert(f Filter, u Update) error {
+	if err := c.UpdateOne(f, u); err == nil || !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	d := Doc{}
+	for k, v := range f {
+		if _, isOp := v.(Op); !isOp {
+			setPath(d, k, v)
+		}
+	}
+	u.apply(d)
+	_, err := c.Insert(d)
+	return err
+}
+
+// DeleteOne removes the first matching document.
+func (c *Collection) DeleteOne(f Filter) error {
+	n := c.delete(f, 1)
+	if n == 0 {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// DeleteMany removes all matching documents, returning the count.
+func (c *Collection) DeleteMany(f Filter) int {
+	return c.delete(f, 0)
+}
+
+func (c *Collection) delete(f Filter, limit int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.candidatesLocked(f)
+	sort.Strings(ids)
+	n := 0
+	for _, id := range ids {
+		d, ok := c.docs[id]
+		if !ok || !f.Matches(d) {
+			continue
+		}
+		c.indexRemoveLocked(d, id)
+		delete(c.docs, id)
+		c.db.logOp(op{Kind: "delete", Coll: c.name, ID: id})
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// op is an oplog entry replicated to secondaries.
+type op struct {
+	Seq  uint64
+	Kind string
+	Coll string
+	Doc  Doc
+	ID   string
+}
+
+// DB is a database: named collections plus an oplog for replication.
+type DB struct {
+	mu     sync.Mutex
+	colls  map[string]*Collection
+	oplog  []op
+	opSeq  uint64
+	subs   []chan op
+	closed bool
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{colls: make(map[string]*Collection)}
+}
+
+// C returns (creating if needed) the named collection.
+func (db *DB) C(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.colls[name]; ok {
+		return c
+	}
+	c := &Collection{
+		name:    name,
+		docs:    make(map[string]Doc),
+		indexes: make(map[string]map[string][]string),
+		db:      db,
+	}
+	db.colls[name] = c
+	return c
+}
+
+// logOp appends an oplog entry and fans it out to subscribers.
+func (db *DB) logOp(o op) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return
+	}
+	db.opSeq++
+	o.Seq = db.opSeq
+	db.oplog = append(db.oplog, o)
+	if len(db.oplog) > 1<<16 {
+		db.oplog = db.oplog[len(db.oplog)/2:]
+	}
+	for _, ch := range db.subs {
+		select {
+		case ch <- o:
+		default:
+		}
+	}
+}
+
+// OplogLen returns the current oplog sequence number.
+func (db *DB) OplogLen() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.opSeq
+}
+
+// Secondary is a read-only replica fed by the primary's oplog, used by
+// availability tests: when the primary "crashes", reads continue from a
+// secondary (the paper replicates MongoDB for high availability, §3.2).
+type Secondary struct {
+	db      *DB
+	applied uint64
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// StartSecondary attaches a replica and begins streaming ops into it.
+func (db *DB) StartSecondary() *Secondary {
+	ch := make(chan op, 1024)
+	db.mu.Lock()
+	db.subs = append(db.subs, ch)
+	backlog := make([]op, len(db.oplog))
+	copy(backlog, db.oplog)
+	db.mu.Unlock()
+
+	s := &Secondary{db: NewDB(), stop: make(chan struct{}), done: make(chan struct{})}
+	for _, o := range backlog {
+		s.applyOp(o)
+	}
+	go func() {
+		defer close(s.done)
+		for {
+			select {
+			case <-s.stop:
+				return
+			case o := <-ch:
+				s.applyOp(o)
+			}
+		}
+	}()
+	return s
+}
+
+func (s *Secondary) applyOp(o op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o.Seq != 0 && o.Seq <= s.applied {
+		return
+	}
+	c := s.db.C(o.Coll)
+	switch o.Kind {
+	case "insert", "update":
+		id, _ := o.Doc["_id"].(string)
+		c.mu.Lock()
+		c.docs[id] = o.Doc.Clone()
+		c.mu.Unlock()
+	case "delete":
+		c.mu.Lock()
+		delete(c.docs, o.ID)
+		c.mu.Unlock()
+	}
+	if o.Seq > s.applied {
+		s.applied = o.Seq
+	}
+}
+
+// C exposes read access to a replicated collection.
+func (s *Secondary) C(name string) *Collection { return s.db.C(name) }
+
+// Applied returns the highest oplog sequence applied.
+func (s *Secondary) Applied() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Stop detaches the replica.
+func (s *Secondary) Stop() {
+	close(s.stop)
+	<-s.done
+}

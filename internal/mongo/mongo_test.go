@@ -1,0 +1,359 @@
+package mongo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestInsertAssignsID(t *testing.T) {
+	db := NewDB()
+	jobs := db.C("jobs")
+	id, err := jobs.Insert(Doc{"user": "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("empty id")
+	}
+	d, err := jobs.FindOne(Filter{"_id": id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d["user"] != "alice" {
+		t.Fatalf("doc = %v", d)
+	}
+}
+
+func TestInsertDuplicateIDFails(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(Doc{"_id": "j1"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestFilterOperators(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	for i := 0; i < 10; i++ {
+		if _, err := c.Insert(Doc{"_id": fmt.Sprintf("j%d", i), "gpus": i, "user": fmt.Sprintf("u%d", i%2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"eq", Filter{"gpus": 3}, 1},
+		{"gt", Filter{"gpus": Gt(6)}, 3},
+		{"gte", Filter{"gpus": Gte(6)}, 4},
+		{"lt", Filter{"gpus": Lt(2)}, 2},
+		{"lte", Filter{"gpus": Lte(2)}, 3},
+		{"ne", Filter{"user": Ne("u0")}, 5},
+		{"in", Filter{"gpus": In(1, 3, 5, 99)}, 3},
+		{"combined", Filter{"user": "u0", "gpus": Gte(4)}, 3},
+		{"exists-true", Filter{"gpus": Exists(true)}, 10},
+		{"exists-false", Filter{"missing": Exists(false)}, 10},
+		{"no-match", Filter{"gpus": 42}, 0},
+	}
+	for _, tc := range cases {
+		if got := c.Count(tc.f); got != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNestedFieldPaths(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "j1", "status": Doc{"phase": "RUNNING", "retries": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Count(Filter{"status.phase": "RUNNING"}); n != 1 {
+		t.Fatalf("nested eq count = %d", n)
+	}
+	if err := c.UpdateOne(Filter{"_id": "j1"}, Update{Set: Doc{"status.phase": "FAILED"}}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.FindOne(Filter{"_id": "j1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := lookupPath(d, "status.phase")
+	if !ok || v != "FAILED" {
+		t.Fatalf("status.phase = %v", v)
+	}
+}
+
+func TestUpdateOperators(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "j1", "retries": 0, "history": []any{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateOne(Filter{"_id": "j1"}, Update{
+		Inc:  map[string]float64{"retries": 1},
+		Push: map[string]any{"history": "PENDING"},
+		Set:  Doc{"user": "bob"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateOne(Filter{"_id": "j1"}, Update{
+		Inc:  map[string]float64{"retries": 1},
+		Push: map[string]any{"history": "RUNNING"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.FindOne(Filter{"_id": "j1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := toFloat(d["retries"]); r != 2 {
+		t.Fatalf("retries = %v", d["retries"])
+	}
+	hist, _ := d["history"].([]any)
+	if len(hist) != 2 || hist[0] != "PENDING" || hist[1] != "RUNNING" {
+		t.Fatalf("history = %v", hist)
+	}
+	if d["user"] != "bob" {
+		t.Fatalf("user = %v", d["user"])
+	}
+	if err := c.UpdateOne(Filter{"_id": "j1"}, Update{Unset: []string{"user"}}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = c.FindOne(Filter{"_id": "j1"})
+	if _, ok := d["user"]; ok {
+		t.Fatal("unset did not remove field")
+	}
+}
+
+func TestUpdateCannotChangeID(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateOne(Filter{"_id": "j1"}, Update{Set: Doc{"_id": "evil"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FindOne(Filter{"_id": "j1"}); err != nil {
+		t.Fatal("document lost its _id")
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	db := NewDB()
+	c := db.C("quota")
+	if err := c.Upsert(Filter{"user": "alice"}, Update{Set: Doc{"gpus": 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upsert(Filter{"user": "alice"}, Update{Set: Doc{"gpus": 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	d, _ := c.FindOne(Filter{"user": "alice"})
+	if g, _ := toFloat(d["gpus"]); g != 8 {
+		t.Fatalf("gpus = %v", d["gpus"])
+	}
+}
+
+func TestFindSortLimit(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	for i := 0; i < 5; i++ {
+		if _, err := c.Insert(Doc{"_id": fmt.Sprintf("j%d", i), "submitted": 100 - i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs := c.Find(Filter{}, FindOpts{SortBy: "submitted", Limit: 3})
+	if len(docs) != 3 {
+		t.Fatalf("len = %d", len(docs))
+	}
+	if docs[0]["_id"] != "j4" {
+		t.Fatalf("first = %v, want j4 (smallest submitted)", docs[0]["_id"])
+	}
+	docs = c.Find(Filter{}, FindOpts{SortBy: "submitted", Desc: true, Limit: 1})
+	if docs[0]["_id"] != "j0" {
+		t.Fatalf("desc first = %v, want j0", docs[0]["_id"])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	for i := 0; i < 6; i++ {
+		if _, err := c.Insert(Doc{"_id": fmt.Sprintf("j%d", i), "user": fmt.Sprintf("u%d", i%2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.DeleteOne(Filter{"_id": "j0"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DeleteMany(Filter{"user": "u1"}); n != 3 {
+		t.Fatalf("deleted %d, want 3", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if err := c.DeleteOne(Filter{"_id": "nope"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIndexEqualityMatchesScan(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	c.EnsureIndex("user")
+	for i := 0; i < 100; i++ {
+		if _, err := c.Insert(Doc{"user": fmt.Sprintf("u%d", i%7), "n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := 0; u < 7; u++ {
+		f := Filter{"user": fmt.Sprintf("u%d", u)}
+		want := 0
+		for _, d := range c.Find(Filter{}, FindOpts{}) {
+			if f.Matches(d) {
+				want++
+			}
+		}
+		if got := c.Count(f); got != want {
+			t.Fatalf("indexed count(u%d) = %d, want %d", u, got, want)
+		}
+	}
+	// Index must track updates and deletes.
+	if _, err := c.UpdateMany(Filter{"user": "u0"}, Update{Set: Doc{"user": "u1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Count(Filter{"user": "u0"}); got != 0 {
+		t.Fatalf("count(u0) after reassign = %d", got)
+	}
+	c.DeleteMany(Filter{"user": "u1"})
+	if got := c.Count(Filter{"user": "u1"}); got != 0 {
+		t.Fatalf("count(u1) after delete = %d", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "j1", "cfg": Doc{"gpus": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.FindOne(Filter{"_id": "j1"})
+	cfg, _ := asDoc(d["cfg"])
+	cfg["gpus"] = 99 // mutate the returned copy
+	d2, _ := c.FindOne(Filter{"_id": "j1"})
+	cfg2, _ := asDoc(d2["cfg"])
+	if g, _ := toFloat(cfg2["gpus"]); g != 2 {
+		t.Fatal("stored document mutated through returned copy")
+	}
+}
+
+func TestSecondaryReplication(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "pre", "n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	sec := db.StartSecondary()
+	defer sec.Stop()
+	// Backlog replicated.
+	if sec.C("jobs").Len() != 1 {
+		t.Fatalf("secondary missing backlog")
+	}
+	if _, err := c.Insert(Doc{"_id": "post", "n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateOne(Filter{"_id": "pre"}, Update{Set: Doc{"n": 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteOne(Filter{"_id": "post"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if sec.Applied() == db.OplogLen() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sec.C("jobs").Len() != 1 {
+		t.Fatalf("secondary len = %d, want 1", sec.C("jobs").Len())
+	}
+	d, err := sec.C("jobs").FindOne(Filter{"_id": "pre"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := toFloat(d["n"]); n != 10 {
+		t.Fatalf("secondary n = %v, want 10", d["n"])
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := c.Insert(Doc{"_id": id, "w": w}); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Find(Filter{"w": w}, FindOpts{})
+				if err := c.UpdateOne(Filter{"_id": id}, Update{Inc: map[string]float64{"n": 1}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 400 {
+		t.Fatalf("len = %d, want 400", c.Len())
+	}
+}
+
+// Property: Find with an equality filter returns exactly the documents a
+// naive scan would.
+func TestFindMatchesNaiveScanProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		db := NewDB()
+		c := db.C("x")
+		c.EnsureIndex("v")
+		for i, v := range vals {
+			if _, err := c.Insert(Doc{"_id": fmt.Sprintf("d%d", i), "v": int(v % 8)}); err != nil {
+				return false
+			}
+		}
+		for target := 0; target < 8; target++ {
+			want := 0
+			for _, v := range vals {
+				if int(v%8) == target {
+					want++
+				}
+			}
+			if c.Count(Filter{"v": target}) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

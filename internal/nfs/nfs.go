@@ -1,0 +1,245 @@
+// Package nfs models the dynamically provisioned shared NFS volumes FfDL
+// mounts into both the helper pod and the learner pods of a job. The
+// paper uses the shared volume as (1) the secure channel through which
+// the controller observes learner exit statuses and output (§3.8), and
+// (2) notes in its lessons learned (§4) that per-job NFS provisioning was
+// "slow and often failed under high load" — which this package reproduces
+// through a provisioner with load-dependent latency and failure.
+package nfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// Errors.
+var (
+	// ErrNotFound reports a read of a missing file.
+	ErrNotFound = errors.New("nfs: file not found")
+	// ErrProvisionFailed reports a volume provisioning failure (the §4
+	// high-load failure mode).
+	ErrProvisionFailed = errors.New("nfs: volume provisioning failed")
+	// ErrReleased reports use of a released volume.
+	ErrReleased = errors.New("nfs: volume released")
+)
+
+// Volume is a shared in-memory filesystem mounted by all pods of one DL
+// job.
+type Volume struct {
+	name string
+
+	mu       sync.Mutex
+	files    map[string][]byte
+	released bool
+	watchers []chan string
+}
+
+// Name returns the volume's identifier.
+func (v *Volume) Name() string { return v.name }
+
+// WriteFile atomically replaces a file's contents. It is how learners
+// expose exit codes and status to the controller.
+func (v *Volume) WriteFile(path string, data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.released {
+		return ErrReleased
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	v.files[path] = cp
+	for _, ch := range v.watchers {
+		select {
+		case ch <- path:
+		default:
+		}
+	}
+	return nil
+}
+
+// AppendFile appends to a file, creating it if needed; used for learner
+// stdout/stderr logs that the log-collector tails.
+func (v *Volume) AppendFile(path string, data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.released {
+		return ErrReleased
+	}
+	v.files[path] = append(v.files[path], data...)
+	for _, ch := range v.watchers {
+		select {
+		case ch <- path:
+		default:
+		}
+	}
+	return nil
+}
+
+// ReadFile returns a copy of a file's contents.
+func (v *Volume) ReadFile(path string) ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.released {
+		return nil, ErrReleased
+	}
+	data, ok := v.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Exists reports whether a file exists.
+func (v *Volume) Exists(path string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	_, ok := v.files[path]
+	return ok && !v.released
+}
+
+// List returns all paths under a prefix, sorted.
+func (v *Volume) List(prefix string) []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var out []string
+	for p := range v.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch returns a channel that receives the path of every subsequent
+// write; the controller uses it to react promptly to learner exits.
+func (v *Volume) Watch() <-chan string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan string, 64)
+	v.watchers = append(v.watchers, ch)
+	return ch
+}
+
+// Provisioner creates and releases per-job volumes with load-dependent
+// latency and failure probability.
+type Provisioner struct {
+	clock sim.Clock
+	rng   *sim.RNG
+
+	mu      sync.Mutex
+	volumes map[string]*Volume
+	nextID  int
+
+	// BaseLatency is the unloaded provisioning time; each concurrently
+	// provisioning request adds LoadPenalty. FailureThreshold is the
+	// concurrent-provision count beyond which each extra request adds
+	// FailureSlope probability of failure.
+	BaseLatency      time.Duration
+	LoadPenalty      time.Duration
+	FailureThreshold int
+	FailureSlope     float64
+
+	inflight int
+	failures int64
+	creates  int64
+}
+
+// NewProvisioner returns a Provisioner with the defaults observed in the
+// paper's deployment: seconds-scale provisioning that degrades and starts
+// failing under concurrent load.
+func NewProvisioner(clock sim.Clock, rng *sim.RNG) *Provisioner {
+	return &Provisioner{
+		clock:            clock,
+		rng:              rng,
+		volumes:          make(map[string]*Volume),
+		BaseLatency:      2 * time.Second,
+		LoadPenalty:      500 * time.Millisecond,
+		FailureThreshold: 20,
+		FailureSlope:     0.02,
+	}
+}
+
+// Provision creates a volume for a job, subject to the load model.
+func (p *Provisioner) Provision(jobID string) (*Volume, error) {
+	p.mu.Lock()
+	p.inflight++
+	inflight := p.inflight
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.inflight--
+		p.mu.Unlock()
+	}()
+
+	latency := p.BaseLatency + time.Duration(inflight-1)*p.LoadPenalty
+	p.clock.Sleep(latency)
+
+	if over := inflight - p.FailureThreshold; over > 0 {
+		pFail := float64(over) * p.FailureSlope
+		if pFail > 0.9 {
+			pFail = 0.9
+		}
+		failed := func() bool {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return p.rng.Bernoulli(pFail)
+		}()
+		if failed {
+			p.mu.Lock()
+			p.failures++
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d concurrent provisions", ErrProvisionFailed, inflight)
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	p.creates++
+	v := &Volume{
+		name:  fmt.Sprintf("pvc-%s-%04d", jobID, p.nextID),
+		files: make(map[string][]byte),
+	}
+	p.volumes[v.name] = v
+	return v, nil
+}
+
+// Release frees a volume; subsequent operations on it fail.
+func (p *Provisioner) Release(v *Volume) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	v.released = true
+	for _, ch := range v.watchers {
+		close(ch)
+	}
+	v.watchers = nil
+	v.mu.Unlock()
+	p.mu.Lock()
+	delete(p.volumes, v.name)
+	p.mu.Unlock()
+}
+
+// Stats reports provisioning outcomes.
+func (p *Provisioner) Stats() (creates, failures int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.creates, p.failures
+}
+
+// Active returns the number of live volumes.
+func (p *Provisioner) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.volumes)
+}

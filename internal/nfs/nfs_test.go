@@ -1,0 +1,205 @@
+package nfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+func fastProvisioner() *Provisioner {
+	p := NewProvisioner(sim.NewRealClock(), sim.NewRNG(1))
+	p.BaseLatency = 0
+	p.LoadPenalty = 0
+	return p
+}
+
+func TestVolumeReadWrite(t *testing.T) {
+	p := fastProvisioner()
+	v, err := p.Provision("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteFile("learner0/exit", []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := v.ReadFile("learner0/exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0" {
+		t.Fatalf("data = %q", data)
+	}
+	if _, err := v.ReadFile("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVolumeAppendAndList(t *testing.T) {
+	p := fastProvisioner()
+	v, err := p.Provision("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AppendFile("logs/learner0.log", []byte("line1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AppendFile("logs/learner0.log", []byte("line2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteFile("status/learner0", []byte("RUNNING")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := v.ReadFile("logs/learner0.log")
+	if string(data) != "line1\nline2\n" {
+		t.Fatalf("log = %q", data)
+	}
+	logs := v.List("logs/")
+	if len(logs) != 1 || logs[0] != "logs/learner0.log" {
+		t.Fatalf("list = %v", logs)
+	}
+	if len(v.List("")) != 2 {
+		t.Fatalf("full list = %v", v.List(""))
+	}
+}
+
+func TestVolumeWatchDeliversWrites(t *testing.T) {
+	p := fastProvisioner()
+	v, err := p.Provision("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := v.Watch()
+	if err := v.WriteFile("learner0/exit", []byte("137")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case path := <-ch:
+		if path != "learner0/exit" {
+			t.Fatalf("path = %q", path)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watch event not delivered")
+	}
+}
+
+func TestReleaseInvalidatesVolume(t *testing.T) {
+	p := fastProvisioner()
+	v, err := p.Provision("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := v.Watch()
+	p.Release(v)
+	if err := v.WriteFile("x", nil); !errors.Is(err, ErrReleased) {
+		t.Fatalf("write err = %v", err)
+	}
+	if _, err := v.ReadFile("x"); !errors.Is(err, ErrReleased) {
+		t.Fatalf("read err = %v", err)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("watch channel not closed on release")
+	}
+	if p.Active() != 0 {
+		t.Fatalf("active = %d", p.Active())
+	}
+}
+
+func TestProvisionLatencyGrowsWithLoad(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	clock.StartAutoAdvance(200 * time.Microsecond)
+	defer clock.StopAutoAdvance()
+	p := NewProvisioner(clock, sim.NewRNG(1))
+	p.BaseLatency = time.Second
+	p.LoadPenalty = time.Second
+
+	start := clock.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var maxElapsed time.Duration
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Provision("j"); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if e := clock.Since(start); e > maxElapsed {
+				maxElapsed = e
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// With 5 concurrent provisions the slowest should include load
+	// penalty (>= 2s), versus 1s unloaded.
+	if maxElapsed < 2*time.Second {
+		t.Fatalf("max provisioning latency = %v, want >= 2s under load", maxElapsed)
+	}
+}
+
+func TestProvisionFailsUnderHeavyLoad(t *testing.T) {
+	p := fastProvisioner()
+	p.FailureThreshold = 0
+	p.FailureSlope = 1.0 // guaranteed failure when over threshold
+
+	// Hold many provisions in flight by blocking on a slow clock.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failures := 0
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Provision("j"); err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if failures == 0 {
+		t.Fatal("no provisioning failures despite saturation settings")
+	}
+	_, recorded := p.Stats()
+	if int(recorded) != failures {
+		t.Fatalf("stats failures = %d, observed %d", recorded, failures)
+	}
+}
+
+func TestConcurrentVolumeAccess(t *testing.T) {
+	p := fastProvisioner()
+	v, err := p.Provision("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := string(rune('a' + w))
+			for i := 0; i < 100; i++ {
+				if err := v.AppendFile(path, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		data, err := v.ReadFile(string(rune('a' + w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 100 {
+			t.Fatalf("file %c has %d bytes", 'a'+w, len(data))
+		}
+	}
+}

@@ -1,0 +1,448 @@
+// Package objstore implements the cloud object storage service FfDL
+// streams training data from and persists checkpoints/results to. It
+// models the pieces of behaviour the paper's evaluation depends on:
+//
+//   - bucket/object CRUD with streaming reads,
+//   - a shared-bandwidth model, so hundreds of concurrent jobs contend
+//     for storage throughput exactly as in the §5.5 heavy-load scale test,
+//   - an s3fs-like mount driver that exposes objects as files with
+//     on-demand chunk streaming and an LRU cache reused across training
+//     epochs and jobs (§3.7 "Mounted object store").
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// Errors.
+var (
+	// ErrNoBucket reports an operation against a missing bucket.
+	ErrNoBucket = errors.New("objstore: bucket not found")
+	// ErrNoObject reports a read of a missing object.
+	ErrNoObject = errors.New("objstore: object not found")
+	// ErrBucketExists reports a duplicate bucket creation.
+	ErrBucketExists = errors.New("objstore: bucket already exists")
+	// ErrNoUpload reports an operation on an unknown multipart upload.
+	ErrNoUpload = errors.New("objstore: multipart upload not found")
+)
+
+// Object is a stored blob with metadata.
+type Object struct {
+	Key      string
+	Size     int64
+	Modified time.Time
+	ETag     string
+}
+
+// Service is an in-process object storage service.
+type Service struct {
+	mu      sync.RWMutex
+	buckets map[string]*bucket
+	clock   sim.Clock
+	limiter *BandwidthLimiter
+
+	uploads map[string]*multipart
+	nextUp  int
+
+	// Stats.
+	bytesIn  int64
+	bytesOut int64
+}
+
+type bucket struct {
+	objects map[string]*blob
+}
+
+type blob struct {
+	data     []byte
+	modified time.Time
+	etag     string
+}
+
+type multipart struct {
+	bucket, key string
+	parts       map[int][]byte
+}
+
+// Config configures a Service.
+type Config struct {
+	// Clock is used for timestamps and bandwidth throttling delays.
+	// Defaults to the wall clock.
+	Clock sim.Clock
+	// AggregateBandwidth is the total storage throughput in bytes/sec
+	// shared by all concurrent transfers; 0 disables throttling.
+	AggregateBandwidth float64
+}
+
+// New returns an empty Service.
+func New(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewRealClock()
+	}
+	var lim *BandwidthLimiter
+	if cfg.AggregateBandwidth > 0 {
+		lim = NewBandwidthLimiter(cfg.Clock, cfg.AggregateBandwidth)
+	}
+	return &Service{
+		buckets: make(map[string]*bucket),
+		clock:   cfg.Clock,
+		limiter: lim,
+		uploads: make(map[string]*multipart),
+	}
+}
+
+// Limiter exposes the shared bandwidth limiter (nil when unthrottled).
+func (s *Service) Limiter() *BandwidthLimiter { return s.limiter }
+
+// CreateBucket makes a new bucket.
+func (s *Service) CreateBucket(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; ok {
+		return fmt.Errorf("%w: %s", ErrBucketExists, name)
+	}
+	s.buckets[name] = &bucket{objects: make(map[string]*blob)}
+	return nil
+}
+
+// EnsureBucket creates the bucket if absent.
+func (s *Service) EnsureBucket(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; !ok {
+		s.buckets[name] = &bucket{objects: make(map[string]*blob)}
+	}
+}
+
+// DeleteBucket removes a bucket and its contents.
+func (s *Service) DeleteBucket(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoBucket, name)
+	}
+	delete(s.buckets, name)
+	return nil
+}
+
+// Put stores an object, applying the bandwidth model to the transfer.
+func (s *Service) Put(bucketName, key string, data []byte) error {
+	if s.limiter != nil {
+		s.limiter.Transfer(int64(len(data)))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	b.objects[key] = &blob{
+		data:     stored,
+		modified: s.clock.Now(),
+		etag:     fmt.Sprintf("%08x-%d", hashBytes(stored), len(stored)),
+	}
+	s.bytesIn += int64(len(data))
+	return nil
+}
+
+// Get returns a full object copy.
+func (s *Service) Get(bucketName, key string) ([]byte, error) {
+	s.mu.RLock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
+	}
+	o, ok := b.objects[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoObject, bucketName, key)
+	}
+	out := make([]byte, len(o.data))
+	copy(out, o.data)
+	s.mu.RUnlock()
+	if s.limiter != nil {
+		s.limiter.Transfer(int64(len(out)))
+	}
+	s.mu.Lock()
+	s.bytesOut += int64(len(out))
+	s.mu.Unlock()
+	return out, nil
+}
+
+// GetRange returns object bytes [off, off+n); n < 0 means to the end.
+func (s *Service) GetRange(bucketName, key string, off, n int64) ([]byte, error) {
+	s.mu.RLock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
+	}
+	o, ok := b.objects[key]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoObject, bucketName, key)
+	}
+	size := int64(len(o.data))
+	if off < 0 || off > size {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("objstore: range start %d outside object of %d bytes", off, size)
+	}
+	end := size
+	if n >= 0 && off+n < size {
+		end = off + n
+	}
+	out := make([]byte, end-off)
+	copy(out, o.data[off:end])
+	s.mu.RUnlock()
+	if s.limiter != nil {
+		s.limiter.Transfer(int64(len(out)))
+	}
+	s.mu.Lock()
+	s.bytesOut += int64(len(out))
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Head returns object metadata without transferring the body.
+func (s *Service) Head(bucketName, key string) (Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
+	}
+	o, ok := b.objects[key]
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %s/%s", ErrNoObject, bucketName, key)
+	}
+	return Object{Key: key, Size: int64(len(o.data)), Modified: o.modified, ETag: o.etag}, nil
+}
+
+// List returns metadata for all objects under a key prefix, sorted by
+// key. FfDL's checkpoint recovery lists a bucket to find the latest
+// checkpoint (§3.8).
+func (s *Service) List(bucketName, prefix string) ([]Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
+	}
+	var out []Object
+	for k, o := range b.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, Object{Key: k, Size: int64(len(o.data)), Modified: o.modified, ETag: o.etag})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Delete removes an object; deleting a missing object is a no-op, as in
+// S3.
+func (s *Service) Delete(bucketName, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
+	}
+	delete(b.objects, key)
+	return nil
+}
+
+// InitiateMultipart starts a multipart upload and returns its id. The
+// paper's lessons-learned notes object stores lack append (§4); multipart
+// is the idiom large results use instead.
+func (s *Service) InitiateMultipart(bucketName, key string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[bucketName]; !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoBucket, bucketName)
+	}
+	s.nextUp++
+	id := fmt.Sprintf("upload-%06d", s.nextUp)
+	s.uploads[id] = &multipart{bucket: bucketName, key: key, parts: make(map[int][]byte)}
+	return id, nil
+}
+
+// UploadPart stores one part (parts are 1-indexed, any order).
+func (s *Service) UploadPart(uploadID string, partNum int, data []byte) error {
+	if s.limiter != nil {
+		s.limiter.Transfer(int64(len(data)))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up, ok := s.uploads[uploadID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoUpload, uploadID)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	up.parts[partNum] = cp
+	return nil
+}
+
+// CompleteMultipart assembles the parts in index order into the final
+// object.
+func (s *Service) CompleteMultipart(uploadID string) error {
+	s.mu.Lock()
+	up, ok := s.uploads[uploadID]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoUpload, uploadID)
+	}
+	delete(s.uploads, uploadID)
+	nums := make([]int, 0, len(up.parts))
+	for n := range up.parts {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	var buf bytes.Buffer
+	for _, n := range nums {
+		buf.Write(up.parts[n])
+	}
+	b, ok := s.buckets[up.bucket]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoBucket, up.bucket)
+	}
+	data := buf.Bytes()
+	b.objects[up.key] = &blob{
+		data:     data,
+		modified: s.clock.Now(),
+		etag:     fmt.Sprintf("%08x-%d", hashBytes(data), len(data)),
+	}
+	s.bytesIn += int64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats reports cumulative transfer volumes.
+func (s *Service) Stats() (bytesIn, bytesOut int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytesIn, s.bytesOut
+}
+
+func hashBytes(b []byte) uint32 {
+	// FNV-1a.
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// Reader streams an object in chunks through the bandwidth model.
+type Reader struct {
+	svc         *Service
+	bucket, key string
+	off, size   int64
+	chunk       int64
+}
+
+// NewReader opens a streaming reader over an object.
+func (s *Service) NewReader(bucketName, key string) (*Reader, error) {
+	meta, err := s.Head(bucketName, key)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{svc: s, bucket: bucketName, key: key, size: meta.Size, chunk: 1 << 20}, nil
+}
+
+var _ io.Reader = (*Reader)(nil)
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.off >= r.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if want > r.chunk {
+		want = r.chunk
+	}
+	data, err := r.svc.GetRange(r.bucket, r.key, r.off, want)
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, data)
+	r.off += int64(n)
+	return n, nil
+}
+
+// BandwidthLimiter models an aggregate-throughput storage/network
+// backend: the more concurrent transfers, the slower each one goes. This
+// is the mechanism behind Figure 5's observation that V100 jobs starting
+// at peak load degrade 51% while earlier K80 batches degrade 6-8%.
+type BandwidthLimiter struct {
+	mu        sync.Mutex
+	clock     sim.Clock
+	bandwidth float64 // bytes/sec aggregate
+	active    int
+	peak      int
+}
+
+// NewBandwidthLimiter returns a limiter over the given aggregate
+// bandwidth in bytes/sec.
+func NewBandwidthLimiter(clock sim.Clock, bandwidth float64) *BandwidthLimiter {
+	return &BandwidthLimiter{clock: clock, bandwidth: bandwidth}
+}
+
+// Transfer blocks for the modeled duration of moving size bytes given
+// current contention.
+func (l *BandwidthLimiter) Transfer(size int64) {
+	d := l.Begin(size)
+	l.clock.Sleep(d)
+	l.End()
+}
+
+// Begin registers a transfer and returns its modeled duration; callers
+// must pair it with End. Split form lets discrete-event simulations
+// schedule the completion instead of sleeping.
+func (l *BandwidthLimiter) Begin(size int64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.active++
+	if l.active > l.peak {
+		l.peak = l.active
+	}
+	share := l.bandwidth / float64(l.active)
+	return time.Duration(float64(size) / share * float64(time.Second))
+}
+
+// End deregisters a transfer.
+func (l *BandwidthLimiter) End() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active > 0 {
+		l.active--
+	}
+}
+
+// Active returns the number of in-flight transfers.
+func (l *BandwidthLimiter) Active() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active
+}
+
+// Peak returns the maximum concurrent transfers observed.
+func (l *BandwidthLimiter) Peak() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.peak
+}

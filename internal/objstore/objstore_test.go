@@ -1,0 +1,319 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+func newSvc() *Service {
+	return New(Config{})
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newSvc()
+	if err := s.CreateBucket("training"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("imagenet-shard-0001")
+	if err := s.Put("training", "data/shard1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("training", "data/shard1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBucketLifecycle(t *testing.T) {
+	s := newSvc()
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateBucket("b"); !errors.Is(err, ErrBucketExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Put("missing", "k", nil); !errors.Is(err, ErrNoBucket) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Get("b", "nope"); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.DeleteBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteBucket("b"); !errors.Is(err, ErrNoBucket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("b")
+	if err := s.Put("b", "k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetRange("b", "k", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "234" {
+		t.Fatalf("range = %q", got)
+	}
+	got, err = s.GetRange("b", "k", 7, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "789" {
+		t.Fatalf("open range = %q", got)
+	}
+	if _, err := s.GetRange("b", "k", 11, 1); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+}
+
+func TestListSortedByPrefix(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("ckpt")
+	for _, k := range []string{"job1/ckpt-3", "job1/ckpt-1", "job1/ckpt-2", "job2/ckpt-1"} {
+		if err := s.Put("ckpt", k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs, err := s.List("ckpt", "job1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("len = %d", len(objs))
+	}
+	// Latest checkpoint discovery = last in sorted order.
+	if objs[len(objs)-1].Key != "job1/ckpt-3" {
+		t.Fatalf("latest = %s", objs[len(objs)-1].Key)
+	}
+}
+
+func TestMultipartAssembly(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("results")
+	id, err := s.InitiateMultipart("results", "model.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload out of order.
+	if err := s.UploadPart(id, 2, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UploadPart(id, 1, []byte("hello-")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteMultipart(id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("results", "model.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello-world" {
+		t.Fatalf("assembled = %q", got)
+	}
+	if err := s.CompleteMultipart(id); !errors.Is(err, ErrNoUpload) {
+		t.Fatalf("double complete err = %v", err)
+	}
+}
+
+func TestReaderStreams(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("b")
+	data := bytes.Repeat([]byte("abcdefgh"), 1024)
+	if err := s.Put("b", "big", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.NewReader("b", "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("streamed data mismatch")
+	}
+}
+
+func TestBandwidthContention(t *testing.T) {
+	clock := sim.NewFakeClock(time.Unix(0, 0))
+	lim := NewBandwidthLimiter(clock, 100) // 100 B/s aggregate
+	// Solo transfer of 100 bytes: 1s.
+	if d := lim.Begin(100); d != time.Second {
+		t.Fatalf("solo duration = %v, want 1s", d)
+	}
+	// Second concurrent transfer sees half bandwidth: 2s for 100 bytes.
+	if d := lim.Begin(100); d != 2*time.Second {
+		t.Fatalf("contended duration = %v, want 2s", d)
+	}
+	lim.End()
+	lim.End()
+	if lim.Peak() != 2 {
+		t.Fatalf("peak = %d", lim.Peak())
+	}
+	if lim.Active() != 0 {
+		t.Fatalf("active = %d", lim.Active())
+	}
+}
+
+func TestMountCacheHitsAcrossEpochs(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("data")
+	dataset := bytes.Repeat([]byte{7}, 10<<20) // 10 MiB
+	if err := s.Put("data", "train.rec", dataset); err != nil {
+		t.Fatal(err)
+	}
+	m := s.NewMount("data", 64<<20)
+	// Epoch 1: all misses.
+	got, err := m.ReadAll("train.rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dataset) {
+		t.Fatal("epoch 1 data mismatch")
+	}
+	st1 := m.Stats()
+	if st1.Misses == 0 {
+		t.Fatalf("epoch1 stats = %+v, expected backend chunk fetches", st1)
+	}
+	if st1.BytesFetched != int64(len(dataset)) {
+		t.Fatalf("epoch1 fetched %d bytes, want %d", st1.BytesFetched, len(dataset))
+	}
+	// Epoch 2: all hits, no new backend bytes.
+	if _, err := m.ReadAll("train.rec"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := m.Stats()
+	if st2.Misses != st1.Misses {
+		t.Fatalf("epoch 2 fetched from backend: %+v", st2)
+	}
+	if st2.Hits == 0 {
+		t.Fatal("epoch 2 recorded no hits")
+	}
+	if st2.BytesFetched != st1.BytesFetched {
+		t.Fatal("epoch 2 refetched bytes")
+	}
+}
+
+func TestMountCacheEviction(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("data")
+	if err := s.Put("data", "a", bytes.Repeat([]byte{1}, 8<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("data", "b", bytes.Repeat([]byte{2}, 8<<20)); err != nil {
+		t.Fatal(err)
+	}
+	m := s.NewMount("data", 8<<20) // holds only one file's chunks
+	if _, err := m.ReadAll("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAll("b"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reading a must miss (evicted by b).
+	pre := m.Stats()
+	if _, err := m.ReadAll("a"); err != nil {
+		t.Fatal(err)
+	}
+	post := m.Stats()
+	if post.Misses == pre.Misses {
+		t.Fatal("expected evictions to force re-fetch")
+	}
+}
+
+func TestSharedCacheAcrossMounts(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("data")
+	if err := s.Put("data", "shared.rec", bytes.Repeat([]byte{3}, 6<<20)); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewChunkCache(64 << 20)
+	m1 := s.NewMountWith("data", cache)
+	m2 := s.NewMountWith("data", cache)
+	if _, err := m1.ReadAll("shared.rec"); err != nil {
+		t.Fatal(err)
+	}
+	// Second job's mount reads the same dataset: all hits.
+	if _, err := m2.ReadAll("shared.rec"); err != nil {
+		t.Fatal(err)
+	}
+	st := m2.Stats()
+	if st.Hits == 0 {
+		t.Fatal("shared cache produced no cross-job hits")
+	}
+	if st.BytesFetched > 6<<20 {
+		t.Fatalf("fetched %d bytes, want <= one dataset", st.BytesFetched)
+	}
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("b")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w))
+			for i := 0; i < 30; i++ {
+				if err := s.Put("b", key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get("b", key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Property: ReadAt through the mount equals direct byte-slicing of the
+// object for arbitrary offsets.
+func TestMountReadAtMatchesSliceProperty(t *testing.T) {
+	s := newSvc()
+	s.EnsureBucket("b")
+	data := make([]byte, 9<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := s.Put("b", "obj", data); err != nil {
+		t.Fatal(err)
+	}
+	m := s.NewMount("b", 32<<20)
+	f, err := m.Open("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(off uint32, n uint16) bool {
+		o := int64(off) % int64(len(data))
+		buf := make([]byte, int(n)%8192+1)
+		got, err := f.ReadAt(buf, o)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return false
+		}
+		return bytes.Equal(buf[:got], data[o:o+int64(got)])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package perf models DL training performance: per-GPU throughput for
+// the paper's benchmark models (VGG-16, ResNet-50, InceptionV3) across
+// GPU generations (K80, P100, V100), CPU-thread input-pipeline scaling,
+// multi-GPU/multi-learner scaling, and the platform overhead components
+// (container, network virtualization, object-store driver) that Tables 1
+// and 2 quantify.
+//
+// We have no physical GPUs, so absolute throughputs are calibrated to the
+// paper's published measurements (Tables 4 and 6) and the NVIDIA
+// reference benchmarks the paper cites; everything built on top —
+// overhead percentages, CPU saturation points, contention-driven
+// degradation — comes from the model's structure, not per-row constants.
+package perf
+
+import (
+	"fmt"
+	"math"
+)
+
+// GPUType enumerates the accelerator generations in the paper's cluster.
+type GPUType string
+
+// GPU types.
+const (
+	K80  GPUType = "K80"
+	P100 GPUType = "P100"
+	V100 GPUType = "V100"
+)
+
+// Framework enumerates DL frameworks used in the evaluation.
+type Framework string
+
+// Frameworks.
+const (
+	Caffe      Framework = "Caffe"
+	TensorFlow Framework = "TensorFlow"
+)
+
+// Model enumerates benchmark networks.
+type Model string
+
+// Benchmark models.
+const (
+	VGG16       Model = "VGG-16"
+	ResNet50    Model = "Resnet-50"
+	InceptionV3 Model = "InceptionV3"
+)
+
+// peakThroughput is the single-GPU images/sec at input-pipeline
+// saturation, calibrated to Table 4 (VGG-16/Caffe: P100 ≈ 66, V100 ≈
+// 107.5 at batch 75) and Table 6 (TF V100 batch 128: InceptionV3 ≈ 247
+// at 100% util, ResNet-50 ≈ 370, VGG-16 ≈ 219).
+func peakThroughput(m Model, fw Framework, g GPUType) float64 {
+	// V100 reference values.
+	var v100 float64
+	switch fw {
+	case Caffe:
+		switch m {
+		case VGG16:
+			v100 = 107.5
+		case ResNet50:
+			v100 = 190
+		case InceptionV3:
+			v100 = 140
+		}
+	case TensorFlow:
+		switch m {
+		case VGG16:
+			v100 = 219
+		case ResNet50:
+			v100 = 353
+		case InceptionV3:
+			v100 = 229
+		}
+	}
+	// Generation ratios: P100 ≈ 0.61×V100 for Caffe/VGG (66/107.5);
+	// K80 ≈ 0.33×P100.
+	switch g {
+	case V100:
+		return v100
+	case P100:
+		return v100 * 0.614
+	case K80:
+		return v100 * 0.614 * 0.33
+	default:
+		return 0
+	}
+}
+
+// cpuSaturation returns the CPU-thread count at which the input pipeline
+// saturates the GPU, and the throughput fraction achieved below it.
+// Table 4 shows Caffe saturating at 4-8 threads; Table 6 shows
+// TensorFlow still gaining up to 28 threads.
+func cpuEfficiency(fw Framework, threads int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	t := float64(threads)
+	switch fw {
+	case Caffe:
+		// Near-flat beyond 2 threads: 2 threads already ≈ 99.7% (Table 4:
+		// 65.96 vs 66.14).
+		return t / (t + 0.01)
+	case TensorFlow:
+		// Slow saturation: 16 threads ≈ 97%, 28 ≈ 99% of asymptote.
+		return t / (t + 0.45)
+	default:
+		return 1
+	}
+}
+
+// Config describes one training configuration.
+type Config struct {
+	Model      Model
+	Framework  Framework
+	GPUType    GPUType
+	GPUsPerL   int
+	Learners   int
+	CPUThreads int
+	BatchSize  int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.GPUsPerL <= 0 || c.Learners <= 0 {
+		return fmt.Errorf("perf: config needs >=1 learner and GPU (have %dL x %dG)", c.Learners, c.GPUsPerL)
+	}
+	if c.CPUThreads < 0 {
+		return fmt.Errorf("perf: negative CPU threads")
+	}
+	return nil
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%dL x %dGPU/L", c.Learners, c.GPUsPerL)
+}
+
+// multiGPUEfficiency models intra-learner data-parallel scaling over
+// PCIe: VGG-class models (large parameter tensors) lose more per extra
+// GPU than compute-dense models.
+func multiGPUEfficiency(m Model, gpus int) float64 {
+	if gpus <= 1 {
+		return 1
+	}
+	var perGPULoss float64
+	switch m {
+	case VGG16:
+		perGPULoss = 0.07
+	case InceptionV3:
+		perGPULoss = 0.035
+	case ResNet50:
+		perGPULoss = 0.045
+	default:
+		perGPULoss = 0.05
+	}
+	return math.Pow(1-perGPULoss, float64(gpus-1))
+}
+
+// multiLearnerEfficiency models inter-learner synchronization over the
+// datacenter network (1GbE in §5.1): each doubling of learners costs a
+// few percent.
+func multiLearnerEfficiency(m Model, learners int) float64 {
+	if learners <= 1 {
+		return 1
+	}
+	var loss float64
+	switch m {
+	case VGG16:
+		loss = 0.06
+	case InceptionV3:
+		loss = 0.04
+	case ResNet50:
+		loss = 0.05
+	default:
+		loss = 0.05
+	}
+	return math.Pow(1-loss, math.Log2(float64(learners)))
+}
+
+// BareMetalThroughput returns aggregate images/sec for a configuration
+// running directly on dedicated servers (the paper's baseline).
+func BareMetalThroughput(c Config) float64 {
+	if err := c.Validate(); err != nil {
+		return 0
+	}
+	threads := c.CPUThreads
+	if threads == 0 {
+		threads = 8 // paper baseline provisioning
+	}
+	single := peakThroughput(c.Model, c.Framework, c.GPUType) * cpuEfficiency(c.Framework, threads)
+	perLearner := single * float64(c.GPUsPerL) * multiGPUEfficiency(c.Model, c.GPUsPerL)
+	return perLearner * float64(c.Learners) * multiLearnerEfficiency(c.Model, c.Learners)
+}
+
+// GPUUtilization estimates the GPU utilization fraction for a config:
+// the ratio of delivered to peak throughput, which is what FfDL's
+// sizing study reports in Table 6.
+func GPUUtilization(c Config) float64 {
+	util := cpuEfficiency(c.Framework, c.CPUThreads) *
+		multiGPUEfficiency(c.Model, c.GPUsPerL) *
+		multiLearnerEfficiency(c.Model, c.Learners)
+	if util > 1 {
+		util = 1
+	}
+	return util
+}

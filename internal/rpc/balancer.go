@@ -1,0 +1,192 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Registry maps service names to the addresses of their live replicas,
+// mirroring the Kubernetes service registry the paper's API instances
+// register into ("dynamically registered into a K8S service registry that
+// provides load balancing and fail-over support", §3.2).
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string][]string
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string][]string)}
+}
+
+// Add registers a replica address under a service name.
+func (r *Registry) Add(service, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range r.services[service] {
+		if a == addr {
+			return
+		}
+	}
+	r.services[service] = append(r.services[service], addr)
+}
+
+// Remove deregisters a replica address.
+func (r *Registry) Remove(service, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addrs := r.services[service]
+	for i, a := range addrs {
+		if a == addr {
+			r.services[service] = append(addrs[:i], addrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lookup returns a copy of the replica addresses for a service.
+func (r *Registry) Lookup(service string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	addrs := r.services[service]
+	out := make([]string, len(addrs))
+	copy(out, addrs)
+	return out
+}
+
+// Balancer issues calls against a named service, rotating across replicas
+// and failing over on connection errors. Connections are cached per
+// address and re-established lazily after failures, which is how the
+// platform survives microservice replica crashes (Table 3).
+type Balancer struct {
+	registry *Registry
+	service  string
+
+	mu    sync.Mutex
+	conns map[string]*Conn
+	next  int
+}
+
+// NewBalancer returns a Balancer for the given service name.
+func NewBalancer(reg *Registry, service string) *Balancer {
+	return &Balancer{registry: reg, service: service, conns: make(map[string]*Conn)}
+}
+
+// conn returns a live connection to addr, dialing if needed.
+func (b *Balancer) conn(addr string) (*Conn, error) {
+	b.mu.Lock()
+	if c, ok := b.conns[addr]; ok {
+		b.mu.Unlock()
+		return c, nil
+	}
+	b.mu.Unlock()
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if existing, ok := b.conns[addr]; ok {
+		c.Close()
+		return existing, nil
+	}
+	b.conns[addr] = c
+	return c, nil
+}
+
+func (b *Balancer) drop(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c, ok := b.conns[addr]; ok {
+		c.Close()
+		delete(b.conns, addr)
+	}
+}
+
+// pick returns replica addresses in round-robin starting order.
+func (b *Balancer) pick() []string {
+	addrs := b.registry.Lookup(b.service)
+	if len(addrs) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	start := b.next % len(addrs)
+	b.next++
+	b.mu.Unlock()
+	ordered := make([]string, 0, len(addrs))
+	ordered = append(ordered, addrs[start:]...)
+	ordered = append(ordered, addrs[:start]...)
+	return ordered
+}
+
+// retryable reports whether the error justifies trying another replica.
+func retryable(err error) bool {
+	return errors.Is(err, ErrConnClosed)
+}
+
+// Call performs a unary RPC against any live replica, failing over on
+// connection-level errors. Application errors are returned as-is.
+func (b *Balancer) Call(ctx context.Context, method string, arg, reply any) error {
+	addrs := b.pick()
+	if len(addrs) == 0 {
+		return ErrNoEndpoints
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		c, err := b.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = c.Call(ctx, method, arg, reply)
+		if err == nil || !retryable(err) {
+			return err
+		}
+		b.drop(addr)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoEndpoints
+	}
+	return lastErr
+}
+
+// Stream opens a server stream against any live replica.
+func (b *Balancer) Stream(ctx context.Context, method string, arg any) (*StreamReader, error) {
+	addrs := b.pick()
+	if len(addrs) == 0 {
+		return nil, ErrNoEndpoints
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		c, err := b.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sr, err := c.Stream(ctx, method, arg)
+		if err == nil {
+			return sr, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		b.drop(addr)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoEndpoints
+	}
+	return nil, lastErr
+}
+
+// Close releases all cached connections.
+func (b *Balancer) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for addr, c := range b.conns {
+		c.Close()
+		delete(b.conns, addr)
+	}
+}

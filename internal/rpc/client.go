@@ -1,0 +1,228 @@
+package rpc
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// call tracks one in-flight request on a client connection.
+type call struct {
+	data chan []byte
+	done chan error // buffered(1); receives terminal status
+}
+
+// Conn is a multiplexed client connection to one server replica.
+type Conn struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	enc    *gob.Encoder
+	nextID uint64
+	calls  map[uint64]*call
+	closed bool
+}
+
+// Dial connects to a server address with a short timeout appropriate for
+// loopback transports.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c := &Conn{nc: nc, enc: gob.NewEncoder(nc), calls: make(map[uint64]*call)}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; in-flight calls fail with
+// ErrConnClosed.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.nc.Close()
+}
+
+func (c *Conn) readLoop() {
+	dec := gob.NewDecoder(c.nc)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			c.mu.Lock()
+			c.closed = true
+			calls := c.calls
+			c.calls = make(map[uint64]*call)
+			c.mu.Unlock()
+			c.nc.Close()
+			for _, cl := range calls {
+				cl.done <- ErrConnClosed
+			}
+			return
+		}
+		c.mu.Lock()
+		cl := c.calls[f.ID]
+		c.mu.Unlock()
+		if cl == nil {
+			continue // late frame for a cancelled call
+		}
+		switch f.Kind {
+		case frameData:
+			cl.data <- f.Body
+		case frameEnd:
+			c.finish(f.ID, cl, nil)
+		case frameError:
+			c.finish(f.ID, cl, &RemoteError{Method: f.Method, Message: f.Err})
+		}
+	}
+}
+
+func (c *Conn) finish(id uint64, cl *call, err error) {
+	c.mu.Lock()
+	delete(c.calls, id)
+	c.mu.Unlock()
+	cl.done <- err
+}
+
+func (c *Conn) start(methodName string, arg any) (uint64, *call, error) {
+	body, err := encode(arg)
+	if err != nil {
+		return 0, nil, fmt.Errorf("rpc: encode %s argument: %w", methodName, err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, ErrConnClosed
+	}
+	c.nextID++
+	id := c.nextID
+	cl := &call{data: make(chan []byte, 16), done: make(chan error, 1)}
+	c.calls[id] = cl
+	err = c.enc.Encode(&frame{Kind: frameCall, ID: id, Method: methodName, Body: body})
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return 0, nil, ErrConnClosed
+	}
+	return id, cl, nil
+}
+
+func (c *Conn) cancel(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	delete(c.calls, id)
+	c.enc.Encode(&frame{Kind: frameCancel, ID: id}) //nolint:errcheck
+}
+
+// Call performs a unary RPC, decoding the reply into the pointer reply
+// (which may be nil to discard it).
+func (c *Conn) Call(ctx context.Context, methodName string, arg, reply any) error {
+	id, cl, err := c.start(methodName, arg)
+	if err != nil {
+		return err
+	}
+	var body []byte
+	for {
+		select {
+		case <-ctx.Done():
+			c.cancel(id)
+			return ErrCanceled
+		case b := <-cl.data:
+			body = b
+		case err := <-cl.done:
+			if err != nil {
+				return err
+			}
+			if reply != nil && len(body) > 0 {
+				if err := decodeInto(reply, body); err != nil {
+					return fmt.Errorf("rpc: decode %s reply: %w", methodName, err)
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// Stream starts a server-streaming RPC and returns a StreamReader.
+func (c *Conn) Stream(ctx context.Context, methodName string, arg any) (*StreamReader, error) {
+	id, cl, err := c.start(methodName, arg)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{conn: c, id: id, cl: cl, ctx: ctx, method: methodName}, nil
+}
+
+// StreamReader iterates a server stream.
+type StreamReader struct {
+	conn   *Conn
+	id     uint64
+	cl     *call
+	ctx    context.Context
+	method string
+	err    error
+	done   bool
+}
+
+// Recv decodes the next stream item into the pointer msg. It returns
+// ErrStreamDone once the server finishes the stream cleanly.
+func (r *StreamReader) Recv(msg any) error {
+	if r.done {
+		if r.err != nil {
+			return r.err
+		}
+		return ErrStreamDone
+	}
+	select {
+	case <-r.ctx.Done():
+		r.Close()
+		r.err = ErrCanceled
+		return r.err
+	case body := <-r.cl.data:
+		if msg != nil && len(body) > 0 {
+			if err := decodeInto(msg, body); err != nil {
+				return fmt.Errorf("rpc: decode %s stream item: %w", r.method, err)
+			}
+		}
+		return nil
+	case err := <-r.cl.done:
+		r.done = true
+		// Drain any data that raced with completion.
+		select {
+		case body := <-r.cl.data:
+			if msg != nil && len(body) > 0 {
+				if derr := decodeInto(msg, body); derr == nil {
+					// Re-arm terminal state for the next Recv.
+					r.done = false
+					go func() { r.cl.done <- err }()
+					return nil
+				}
+			}
+		default:
+		}
+		if err != nil {
+			r.err = err
+			return err
+		}
+		r.err = nil
+		return ErrStreamDone
+	}
+}
+
+// Close abandons the stream.
+func (r *StreamReader) Close() {
+	if !r.done {
+		r.done = true
+		r.conn.cancel(r.id)
+	}
+}

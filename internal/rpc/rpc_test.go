@@ -1,0 +1,336 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type echoReq struct {
+	Msg string
+	N   int
+}
+
+type echoResp struct {
+	Msg string
+	N   int
+}
+
+func newEchoServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	s.Register("Echo", echoReq{}, func(_ context.Context, arg any) (any, error) {
+		r := arg.(echoReq)
+		return echoResp{Msg: r.Msg, N: r.N + 1}, nil
+	})
+	s.Register("Fail", echoReq{}, func(_ context.Context, arg any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	s.RegisterStream("Count", echoReq{}, func(ctx context.Context, arg any, send func(any) error) error {
+		r := arg.(echoReq)
+		for i := 0; i < r.N; i++ {
+			if err := send(echoResp{Msg: r.Msg, N: i}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s.RegisterStream("Forever", echoReq{}, func(ctx context.Context, arg any, send func(any) error) error {
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return nil
+			default:
+			}
+			if err := send(echoResp{N: i}); err != nil {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, addr
+}
+
+func TestUnaryCall(t *testing.T) {
+	_, addr := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var resp echoResp
+	if err := c.Call(context.Background(), "Echo", echoReq{Msg: "hi", N: 41}, &resp); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Msg != "hi" || resp.N != 42 {
+		t.Fatalf("resp = %+v, want {hi 42}", resp)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	_, addr := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call(context.Background(), "Fail", echoReq{}, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Message != "boom" {
+		t.Fatalf("message = %q, want boom", re.Message)
+	}
+}
+
+func TestMethodNotFound(t *testing.T) {
+	_, addr := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call(context.Background(), "Nope", echoReq{}, nil)
+	if err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestServerStream(t *testing.T) {
+	_, addr := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sr, err := c.Stream(context.Background(), "Count", echoReq{Msg: "s", N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for {
+		var item echoResp
+		err := sr.Recv(&item)
+		if errors.Is(err, ErrStreamDone) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		got = append(got, item.N)
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %d items, want 5: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("items out of order: %v", got)
+		}
+	}
+}
+
+func TestStreamCancel(t *testing.T) {
+	_, addr := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	sr, err := c.Stream(ctx, "Forever", echoReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var item echoResp
+	if err := sr.Recv(&item); err != nil {
+		t.Fatalf("first Recv: %v", err)
+	}
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := sr.Recv(&item); err != nil {
+			return // cancelled as expected
+		}
+	}
+	t.Fatal("stream did not observe cancellation")
+}
+
+func TestConcurrentCallsOneConn(t *testing.T) {
+	_, addr := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp echoResp
+			if err := c.Call(context.Background(), "Echo", echoReq{N: i}, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.N != i+1 {
+				errs <- fmt.Errorf("call %d got %d", i, resp.N)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseFailsInflight(t *testing.T) {
+	s := NewServer()
+	started := make(chan struct{})
+	s.Register("Slow", echoReq{}, func(ctx context.Context, arg any) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	callErr := make(chan error, 1)
+	go func() {
+		callErr <- c.Call(context.Background(), "Slow", echoReq{}, nil)
+	}()
+	<-started
+	s.Close()
+	select {
+	case err := <-callErr:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("err = %v, want ErrConnClosed", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("call did not fail after server close")
+	}
+}
+
+func TestBalancerFailover(t *testing.T) {
+	reg := NewRegistry()
+	s1, addr1 := newEchoServer(t)
+	_, addr2 := newEchoServer(t)
+	reg.Add("api", addr1)
+	reg.Add("api", addr2)
+	b := NewBalancer(reg, "api")
+	defer b.Close()
+
+	var resp echoResp
+	if err := b.Call(context.Background(), "Echo", echoReq{N: 1}, &resp); err != nil {
+		t.Fatalf("initial call: %v", err)
+	}
+	// Kill one replica; calls must keep succeeding via the other.
+	s1.Close()
+	reg.Remove("api", addr1)
+	for i := 0; i < 10; i++ {
+		if err := b.Call(context.Background(), "Echo", echoReq{N: i}, &resp); err != nil {
+			t.Fatalf("call after replica crash: %v", err)
+		}
+	}
+}
+
+func TestBalancerFailoverWithStaleRegistry(t *testing.T) {
+	// Even when the registry still lists a dead replica, calls fail over.
+	reg := NewRegistry()
+	s1, addr1 := newEchoServer(t)
+	_, addr2 := newEchoServer(t)
+	reg.Add("api", addr1)
+	reg.Add("api", addr2)
+	b := NewBalancer(reg, "api")
+	defer b.Close()
+	var resp echoResp
+	if err := b.Call(context.Background(), "Echo", echoReq{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	for i := 0; i < 6; i++ {
+		if err := b.Call(context.Background(), "Echo", echoReq{N: i}, &resp); err != nil {
+			t.Fatalf("stale-registry failover call %d: %v", i, err)
+		}
+	}
+}
+
+func TestBalancerNoEndpoints(t *testing.T) {
+	b := NewBalancer(NewRegistry(), "ghost")
+	defer b.Close()
+	err := b.Call(context.Background(), "Echo", echoReq{}, nil)
+	if !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("err = %v, want ErrNoEndpoints", err)
+	}
+}
+
+func TestRegistryAddRemove(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("svc", "a")
+	reg.Add("svc", "b")
+	reg.Add("svc", "a") // duplicate ignored
+	if got := reg.Lookup("svc"); len(got) != 2 {
+		t.Fatalf("lookup = %v, want 2 addrs", got)
+	}
+	reg.Remove("svc", "a")
+	if got := reg.Lookup("svc"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("lookup after remove = %v, want [b]", got)
+	}
+	reg.Remove("svc", "missing") // no-op
+}
+
+func TestInterceptRejects(t *testing.T) {
+	s, addr := newEchoServer(t)
+	s.Intercept = func(m string) error {
+		if m == "Echo" {
+			return errors.New("injected fault")
+		}
+		return nil
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call(context.Background(), "Echo", echoReq{}, nil)
+	if err == nil {
+		t.Fatal("intercepted call succeeded")
+	}
+}
+
+// Property: Echo is the identity on messages for arbitrary payloads.
+func TestEchoRoundTripProperty(t *testing.T) {
+	_, addr := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := func(msg string, n int) bool {
+		var resp echoResp
+		if err := c.Call(context.Background(), "Echo", echoReq{Msg: msg, N: n}, &resp); err != nil {
+			return false
+		}
+		return resp.Msg == msg && resp.N == n+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+)
+
+// Handler is a unary method: it decodes its argument from args into a
+// value of the registered argument type and returns a reply.
+type Handler func(ctx context.Context, arg any) (any, error)
+
+// StreamHandler is a server-streaming method: it may call send any number
+// of times before returning. A non-nil return is delivered to the client
+// as the stream error.
+type StreamHandler func(ctx context.Context, arg any, send func(any) error) error
+
+// method bundles a handler with the concrete argument type used to decode
+// incoming payloads, mirroring net/rpc's reflective decoding.
+type method struct {
+	argType reflect.Type
+	unary   Handler
+	stream  StreamHandler
+}
+
+// Server dispatches multiplexed calls from many connections. The zero
+// value is not usable; use NewServer.
+type Server struct {
+	mu      sync.RWMutex
+	methods map[string]*method
+	conns   map[net.Conn]struct{}
+	ln      net.Listener
+	closed  bool
+	wg      sync.WaitGroup
+
+	// Intercept, when non-nil, runs before every dispatch; returning an
+	// error aborts the call. Used for fault injection and auth checks.
+	Intercept func(methodName string) error
+}
+
+// NewServer returns an empty Server.
+func NewServer() *Server {
+	return &Server{
+		methods: make(map[string]*method),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs a unary handler. argProto is a value (typically a
+// zero struct) whose concrete type incoming arguments are decoded into.
+func (s *Server) Register(name string, argProto any, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[name] = &method{argType: reflect.TypeOf(argProto), unary: h}
+}
+
+// RegisterStream installs a server-streaming handler.
+func (s *Server) RegisterStream(name string, argProto any, h StreamHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[name] = &method{argType: reflect.TypeOf(argProto), stream: h}
+}
+
+// Serve accepts connections on ln until the server is closed. It blocks;
+// run it on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrConnClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("rpc: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Listen starts serving on a fresh loopback TCP listener and returns its
+// address. It is the common way tests and the in-process platform boot a
+// microservice replica.
+func (s *Server) Listen() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen: %w", err)
+	}
+	go s.Serve(ln) //nolint:errcheck // lifetime tied to Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, terminates all open connections and waits for
+// in-flight handlers to drain. It models a microservice crash/stop: calls
+// in flight observe ErrConnClosed and the balancer fails over.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// connState tracks per-connection call cancellation.
+type connState struct {
+	mu     sync.Mutex
+	enc    *gob.Encoder
+	cancel map[uint64]context.CancelFunc
+}
+
+func (cs *connState) send(f *frame) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.enc.Encode(f)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	cs := &connState{enc: gob.NewEncoder(conn), cancel: make(map[uint64]context.CancelFunc)}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			// Connection closed or corrupted: cancel outstanding calls.
+			cs.mu.Lock()
+			for _, cancel := range cs.cancel {
+				cancel()
+			}
+			cs.mu.Unlock()
+			return
+		}
+		switch f.Kind {
+		case frameCall:
+			ctx, cancel := context.WithCancel(context.Background())
+			cs.mu.Lock()
+			cs.cancel[f.ID] = cancel
+			cs.mu.Unlock()
+			wg.Add(1)
+			go func(f frame) {
+				defer wg.Done()
+				s.dispatch(ctx, cs, &f)
+				cancel()
+				cs.mu.Lock()
+				delete(cs.cancel, f.ID)
+				cs.mu.Unlock()
+			}(f)
+		case frameCancel:
+			cs.mu.Lock()
+			if cancel, ok := cs.cancel[f.ID]; ok {
+				cancel()
+			}
+			cs.mu.Unlock()
+		default:
+			// Ignore unexpected frames; a well-behaved client never sends
+			// them, and dropping beats tearing down a shared connection.
+		}
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, cs *connState, f *frame) {
+	fail := func(err error) {
+		cs.send(&frame{Kind: frameError, ID: f.ID, Err: err.Error()}) //nolint:errcheck
+	}
+	s.mu.RLock()
+	m := s.methods[f.Method]
+	intercept := s.Intercept
+	s.mu.RUnlock()
+	if m == nil {
+		fail(fmt.Errorf("%w: %s", ErrMethodNotFound, f.Method))
+		return
+	}
+	if intercept != nil {
+		if err := intercept(f.Method); err != nil {
+			fail(err)
+			return
+		}
+	}
+	arg, err := decodeAs(m.argType, f.Body)
+	if err != nil {
+		fail(fmt.Errorf("rpc: decode %s argument: %w", f.Method, err))
+		return
+	}
+	if m.unary != nil {
+		reply, err := m.unary(ctx, arg)
+		if err != nil {
+			fail(err)
+			return
+		}
+		body, err := encode(reply)
+		if err != nil {
+			fail(fmt.Errorf("rpc: encode %s reply: %w", f.Method, err))
+			return
+		}
+		if err := cs.send(&frame{Kind: frameData, ID: f.ID, Body: body}); err != nil {
+			return
+		}
+		cs.send(&frame{Kind: frameEnd, ID: f.ID}) //nolint:errcheck
+		return
+	}
+	send := func(msg any) error {
+		if err := ctx.Err(); err != nil {
+			return ErrCanceled
+		}
+		body, err := encode(msg)
+		if err != nil {
+			return fmt.Errorf("rpc: encode %s stream item: %w", f.Method, err)
+		}
+		return cs.send(&frame{Kind: frameData, ID: f.ID, Body: body})
+	}
+	if err := m.stream(ctx, arg, send); err != nil {
+		fail(err)
+		return
+	}
+	cs.send(&frame{Kind: frameEnd, ID: f.ID}) //nolint:errcheck
+}
+
+// encode gob-encodes a single concrete value. A nil value encodes to an
+// empty body, which decodes as a no-op on the receiving side.
+func encode(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeAs decodes body into a fresh value of type t and returns it as a
+// pointer-stripped interface matching how it was registered.
+func decodeAs(t reflect.Type, body []byte) (any, error) {
+	ptr := t.Kind() == reflect.Ptr
+	base := t
+	if ptr {
+		base = t.Elem()
+	}
+	v := reflect.New(base)
+	if err := gob.NewDecoder(bytes.NewReader(body)).DecodeValue(v); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if ptr {
+		return v.Interface(), nil
+	}
+	return v.Elem().Interface(), nil
+}
+
+// decodeInto decodes body into the pointer dst.
+func decodeInto(dst any, body []byte) error {
+	return gob.NewDecoder(bytes.NewReader(body)).DecodeValue(reflect.ValueOf(dst))
+}

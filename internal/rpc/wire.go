@@ -1,0 +1,64 @@
+// Package rpc implements the lightweight RPC fabric the FfDL
+// microservices communicate over. The paper's system uses gRPC; this
+// stdlib-only equivalent provides the same coupling model: typed unary
+// calls, server-streaming calls (used for watch/log streams), deadlines,
+// and client-side load balancing across the replicas of a replicated
+// microservice (the paper's Kubernetes "service" abstraction).
+//
+// Wire format: each connection carries gob-encoded frames in both
+// directions. Requests are multiplexed by ID, so one connection supports
+// many concurrent in-flight calls, like HTTP/2 under gRPC.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// frameKind discriminates wire frames.
+type frameKind uint8
+
+const (
+	frameCall   frameKind = iota + 1 // client -> server: start a call
+	frameData                        // payload (either direction)
+	frameEnd                         // server -> client: call finished OK
+	frameError                       // server -> client: call failed
+	frameCancel                      // client -> server: abandon call
+)
+
+// frame is the unit of transmission. Body holds a gob-encoded message
+// produced by the caller-side codec so the transport itself never needs
+// type registration.
+type frame struct {
+	Kind   frameKind
+	ID     uint64
+	Method string
+	Body   []byte
+	Err    string
+}
+
+// Error values surfaced to callers.
+var (
+	// ErrConnClosed reports that the underlying connection was closed
+	// mid-call (e.g. the server crashed). Callers treat it as retryable.
+	ErrConnClosed = errors.New("rpc: connection closed")
+	// ErrNoEndpoints reports that a balanced client has no live replicas.
+	ErrNoEndpoints = errors.New("rpc: no endpoints available")
+	// ErrMethodNotFound reports a call to an unregistered method.
+	ErrMethodNotFound = errors.New("rpc: method not found")
+	// ErrCanceled reports that the call context was cancelled.
+	ErrCanceled = errors.New("rpc: call canceled")
+	// ErrStreamDone reports reading past the end of a server stream.
+	ErrStreamDone = errors.New("rpc: stream done")
+)
+
+// RemoteError is an application error propagated from the server.
+type RemoteError struct {
+	Method  string
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error from %s: %s", e.Method, e.Message)
+}

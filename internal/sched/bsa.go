@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ffdl/ffdl/internal/sim"
+)
+
+// BSA is the Biased Sampling Algorithm gang scheduler (§3.5, citing
+// Tantawi [43,44]). The placement of a gang of logical entities (pods)
+// onto physical entities (nodes) is an NP-hard assignment problem; at
+// cluster scale the solution space is combinatorially explosive, so BSA
+// draws whole assignment vectors by importance sampling: each pod samples
+// a node from a distribution biased toward nodes that (a) satisfy its
+// constraints and (b) improve the objective — here GPU packing, since
+// GPUs are the scarce resource. The best-scoring feasible sample wins.
+type BSA struct {
+	// Samples is the number of assignment vectors drawn per gang.
+	// Larger values approach the optimum at higher scheduling latency
+	// (ablated in BenchmarkAblationBSASamples).
+	Samples int
+	// Theta sharpens the bias distribution: weight ∝ exp(Theta·score).
+	// Theta = 0 degenerates to uniform sampling over feasible nodes.
+	Theta float64
+	// RNG drives sampling; required.
+	RNG *sim.RNG
+}
+
+var _ GangPolicy = (*BSA)(nil)
+
+// NewBSA returns a BSA scheduler with the defaults used in production:
+// 32 samples, bias sharpness 4.
+func NewBSA(rng *sim.RNG) *BSA {
+	return &BSA{Samples: 32, Theta: 4, RNG: rng}
+}
+
+// Name implements GangPolicy.
+func (b *BSA) Name() string { return "gang-bsa" }
+
+// PlaceGang implements GangPolicy.
+func (b *BSA) PlaceGang(g *Gang, cs *ClusterState) ([]Assignment, *Failure) {
+	samples := b.Samples
+	if samples <= 0 {
+		samples = 32
+	}
+	var (
+		best      []Assignment
+		bestScore = math.Inf(-1)
+		lastFail  *Failure
+	)
+	order := podOrder(g)
+	for s := 0; s < samples; s++ {
+		as, score, fail := b.sampleOnce(g, order, cs)
+		if fail != nil {
+			lastFail = fail
+			continue
+		}
+		if score > bestScore {
+			best, bestScore = as, score
+		}
+	}
+	if best == nil {
+		if lastFail == nil {
+			lastFail = &Failure{Reason: ReasonNoNodesAvailable, Message: fmt.Sprintf("gang %s: no feasible sample", g.JobID)}
+		}
+		return nil, lastFail
+	}
+	sortAssignments(g, best)
+	return best, nil
+}
+
+// sampleOnce draws one assignment vector: pods (largest first) sample
+// nodes proportionally to exp(Theta * packScore) over currently feasible
+// nodes of a scratch state.
+func (b *BSA) sampleOnce(g *Gang, order []int, cs *ClusterState) ([]Assignment, float64, *Failure) {
+	scratch := cs.Clone()
+	out := make([]Assignment, 0, len(g.Pods))
+	for _, i := range order {
+		p := &g.Pods[i]
+		nodes, reason := scratch.FeasibleNodes(p)
+		if len(nodes) == 0 {
+			return nil, 0, &Failure{
+				Reason:  reason,
+				Message: fmt.Sprintf("gang %s pod %s: no feasible node", g.JobID, p.Name),
+			}
+		}
+		weights := make([]float64, len(nodes))
+		for j, n := range nodes {
+			weights[j] = math.Exp(b.Theta * packScore(n))
+		}
+		chosen := nodes[b.RNG.WeightedChoice(weights)]
+		scratch.Assign(chosen.Name, p.Demand)
+		out = append(out, Assignment{Pod: p.Name, Node: chosen.Name})
+	}
+	return out, b.objective(g, out, cs), nil
+}
+
+// objective scores a complete assignment: fewer distinct nodes is better
+// (packing), with a small bonus for landing on already-loaded nodes so
+// empty machines stay free for future large gangs.
+func (b *BSA) objective(g *Gang, as []Assignment, cs *ClusterState) float64 {
+	used := make(map[string]int)
+	for _, a := range as {
+		used[a.Node]++
+	}
+	score := -float64(len(used))
+	for name := range used {
+		n := cs.Node(name)
+		if n != nil && n.Capacity.GPUs > 0 {
+			score += 0.1 * (1 - float64(n.Free.GPUs)/float64(n.Capacity.GPUs))
+		}
+	}
+	return score
+}

@@ -1,0 +1,250 @@
+// Package sched implements FfDL's scheduling policies over an abstract
+// cluster model so the same code drives both the live kube-like
+// orchestrator (internal/kube) and the discrete-event experiments
+// (internal/expt):
+//
+//   - Spread — the Kubernetes default placement the paper's first
+//     prototype used (§3.4): prefer the least-allocated node.
+//   - Pack — FfDL's replacement: cram a job's pods onto as few machines
+//     as possible, minimizing GPU fragmentation.
+//   - Gang scheduling with the Biased Sampling Algorithm (BSA, §3.5):
+//     place all pods of a job atomically or queue the whole job.
+//   - FCFS dispatch with largest-gang-first tie-break and no GPU
+//     overcommitment (§3.6), plus quota-based admission control with
+//     preemption of free-tier and over-quota jobs.
+package sched
+
+import "fmt"
+
+// Resources is a multi-dimensional resource vector.
+type Resources struct {
+	// MilliCPU is CPU in thousandths of a core.
+	MilliCPU int64
+	// MemoryMB is RAM in mebibytes.
+	MemoryMB int64
+	// GPUs is the number of whole GPUs (no space-sharing; §3.6).
+	GPUs int
+}
+
+// Add returns r + o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		MilliCPU: r.MilliCPU + o.MilliCPU,
+		MemoryMB: r.MemoryMB + o.MemoryMB,
+		GPUs:     r.GPUs + o.GPUs,
+	}
+}
+
+// Sub returns r - o.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{
+		MilliCPU: r.MilliCPU - o.MilliCPU,
+		MemoryMB: r.MemoryMB - o.MemoryMB,
+		GPUs:     r.GPUs - o.GPUs,
+	}
+}
+
+// Fits reports whether a demand of o fits within r.
+func (r Resources) Fits(o Resources) bool {
+	return o.MilliCPU <= r.MilliCPU && o.MemoryMB <= r.MemoryMB && o.GPUs <= r.GPUs
+}
+
+// IsZero reports an all-zero vector.
+func (r Resources) IsZero() bool {
+	return r.MilliCPU == 0 && r.MemoryMB == 0 && r.GPUs == 0
+}
+
+// String implements fmt.Stringer.
+func (r Resources) String() string {
+	return fmt.Sprintf("cpu=%dm mem=%dMB gpu=%d", r.MilliCPU, r.MemoryMB, r.GPUs)
+}
+
+// Node is the scheduler's view of one machine.
+type Node struct {
+	// Name identifies the node.
+	Name string
+	// GPUType is the accelerator model ("K80", "P100", "V100"); pods may
+	// constrain placement to a type, as FfDL jobs request specific GPUs.
+	GPUType string
+	// Capacity is the node's total allocatable resources.
+	Capacity Resources
+	// Free is what remains after current assignments.
+	Free Resources
+	// Unschedulable marks cordoned or NotReady nodes.
+	Unschedulable bool
+	// Pods counts pods currently assigned, for spread scoring.
+	Pods int
+}
+
+// Clone copies the node.
+func (n *Node) Clone() *Node {
+	c := *n
+	return &c
+}
+
+// PodSpec is one schedulable unit (a learner, parameter server or helper
+// pod).
+type PodSpec struct {
+	// Name identifies the pod.
+	Name string
+	// JobID ties the pod to its DL job (its gang).
+	JobID string
+	// Demand is the pod's resource request.
+	Demand Resources
+	// GPUType constrains placement to nodes with this accelerator; empty
+	// means any.
+	GPUType string
+}
+
+// Gang is the unit of atomic placement: all pods of one DL job.
+type Gang struct {
+	// JobID names the job.
+	JobID string
+	// Pods lists every pod that must be co-scheduled.
+	Pods []PodSpec
+	// Priority orders preemption; higher is more important.
+	Priority int
+	// User owns the job, for quota accounting.
+	User string
+}
+
+// TotalDemand sums the gang's resource requests.
+func (g *Gang) TotalDemand() Resources {
+	var total Resources
+	for _, p := range g.Pods {
+		total = total.Add(p.Demand)
+	}
+	return total
+}
+
+// GPUDemand returns the gang's total GPU request.
+func (g *Gang) GPUDemand() int { return g.TotalDemand().GPUs }
+
+// Assignment binds one pod to one node.
+type Assignment struct {
+	Pod  string
+	Node string
+}
+
+// FailureReason mirrors the Kubernetes scheduler failure messages the
+// paper catalogs in Table 8.
+type FailureReason string
+
+// Scheduling failure reasons (Table 8 vocabulary).
+const (
+	ReasonNoNodesAvailable FailureReason = "No nodes available that match all of the predicates"
+	ReasonInsufficientGPU  FailureReason = "Insufficient alpha.kubernetes.io/nvidia-gpu"
+	ReasonNodeSelector     FailureReason = "MatchNodeSelector"
+	ReasonUnschedulable    FailureReason = "NodeUnschedulable"
+)
+
+// Failure explains why placement did not happen.
+type Failure struct {
+	Reason  FailureReason
+	Message string
+}
+
+// Error implements error.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("sched: %s: %s", f.Reason, f.Message)
+}
+
+// ClusterState is a mutable scratch copy of the cluster the policies
+// place against. Policies mutate Free/Pods on assignment so multi-pod
+// placements account for earlier pods of the same gang.
+type ClusterState struct {
+	Nodes []*Node
+	index map[string]*Node
+}
+
+// NewClusterState builds a state over cloned nodes.
+func NewClusterState(nodes []*Node) *ClusterState {
+	cs := &ClusterState{index: make(map[string]*Node, len(nodes))}
+	for _, n := range nodes {
+		c := n.Clone()
+		cs.Nodes = append(cs.Nodes, c)
+		cs.index[c.Name] = c
+	}
+	return cs
+}
+
+// Node returns a node by name.
+func (cs *ClusterState) Node(name string) *Node { return cs.index[name] }
+
+// Assign consumes resources for a pod on a node.
+func (cs *ClusterState) Assign(nodeName string, demand Resources) {
+	n := cs.index[nodeName]
+	n.Free = n.Free.Sub(demand)
+	n.Pods++
+}
+
+// Release returns a pod's resources to a node.
+func (cs *ClusterState) Release(nodeName string, demand Resources) {
+	n := cs.index[nodeName]
+	n.Free = n.Free.Add(demand)
+	if n.Pods > 0 {
+		n.Pods--
+	}
+}
+
+// Clone deep-copies the state, for speculative placement.
+func (cs *ClusterState) Clone() *ClusterState {
+	return NewClusterState(cs.Nodes)
+}
+
+// TotalGPUs returns (free, capacity) GPU counts over schedulable nodes.
+func (cs *ClusterState) TotalGPUs() (free, capacity int) {
+	for _, n := range cs.Nodes {
+		if n.Unschedulable {
+			continue
+		}
+		free += n.Free.GPUs
+		capacity += n.Capacity.GPUs
+	}
+	return free, capacity
+}
+
+// feasible reports whether the pod can land on the node right now, and
+// the reason when it cannot.
+func feasible(p *PodSpec, n *Node) (bool, FailureReason) {
+	if n.Unschedulable {
+		return false, ReasonUnschedulable
+	}
+	if p.GPUType != "" && n.GPUType != p.GPUType {
+		return false, ReasonNodeSelector
+	}
+	if p.Demand.GPUs > n.Free.GPUs {
+		return false, ReasonInsufficientGPU
+	}
+	if !n.Free.Fits(p.Demand) {
+		return false, ReasonNoNodesAvailable
+	}
+	return true, ""
+}
+
+// FeasibleNodes returns the nodes a pod could land on and, when empty,
+// the dominant failure reason across nodes (the predicate breakdown the
+// paper extracts from FailedScheduling logs).
+func (cs *ClusterState) FeasibleNodes(p *PodSpec) ([]*Node, FailureReason) {
+	var out []*Node
+	counts := map[FailureReason]int{}
+	for _, n := range cs.Nodes {
+		ok, reason := feasible(p, n)
+		if ok {
+			out = append(out, n)
+		} else {
+			counts[reason]++
+		}
+	}
+	if len(out) > 0 {
+		return out, ""
+	}
+	best := ReasonNoNodesAvailable
+	bestN := -1
+	for r, c := range counts {
+		if c > bestN || (c == bestN && r < best) {
+			best, bestN = r, c
+		}
+	}
+	return nil, best
+}

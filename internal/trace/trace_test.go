@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Days: 7, Seed: 5})
+	b := Generate(Config{Days: 7, Seed: 5})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateSortedAndInRange(t *testing.T) {
+	cfg := Config{Days: 14, Seed: 9}
+	jobs := Generate(cfg)
+	if len(jobs) == 0 {
+		t.Fatal("empty trace")
+	}
+	start := time.Date(2019, 1, 7, 0, 0, 0, 0, time.UTC)
+	end := start.Add(14 * 24 * time.Hour)
+	for i, j := range jobs {
+		if i > 0 && j.Arrival.Before(jobs[i-1].Arrival) {
+			t.Fatal("trace not sorted by arrival")
+		}
+		if j.Arrival.Before(start) || j.Arrival.After(end) {
+			t.Fatalf("arrival %v outside trace window", j.Arrival)
+		}
+		if j.Learners < 1 || j.GPUsPerLearner < 1 {
+			t.Fatalf("degenerate job %+v", j)
+		}
+		if j.GPUType != "K80" && j.GPUType != "V100" {
+			t.Fatalf("unknown GPU type %q", j.GPUType)
+		}
+		if j.Duration <= 0 || j.Duration > 97*time.Hour {
+			t.Fatalf("implausible duration %v", j.Duration)
+		}
+	}
+}
+
+func TestDailyVolumeBand(t *testing.T) {
+	// Fig 3(a): daily arrivals roughly 200-1400 at default settings.
+	jobs := Generate(Config{Days: 60, Seed: 60})
+	counts := DailyCounts(jobs, time.Date(2019, 1, 7, 0, 0, 0, 0, time.UTC), 60)
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo < 80 || hi > 2200 {
+		t.Fatalf("daily volume [%d, %d] far outside the paper's 200-1400 band", lo, hi)
+	}
+	if hi < 700 {
+		t.Fatalf("peak volume %d too low", hi)
+	}
+	// Weekly pattern: weekend days (5,6 offsets) lighter than weekdays.
+	var wk, wkend float64
+	for d, c := range counts {
+		if d%7 >= 5 {
+			wkend += float64(c)
+		} else {
+			wk += float64(c)
+		}
+	}
+	if wkend/(60.0*2/7) >= wk/(60.0*5/7) {
+		t.Fatal("weekend volume not lighter than weekday")
+	}
+}
+
+func TestSizeMixtureDominatedBySmallJobs(t *testing.T) {
+	jobs := Generate(Config{Days: 30, Seed: 3})
+	small, distributed := 0, 0
+	for _, j := range jobs {
+		if j.Learners == 1 && j.GPUsPerLearner == 1 {
+			small++
+		}
+		if j.Learners > 1 {
+			distributed++
+		}
+	}
+	frac := float64(small) / float64(len(jobs))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("1Lx1G fraction = %.2f, want ~0.48", frac)
+	}
+	if distributed == 0 {
+		t.Fatal("no distributed jobs in trace")
+	}
+}
+
+func TestDailyCountsIgnoresOutOfRange(t *testing.T) {
+	start := time.Date(2019, 1, 7, 0, 0, 0, 0, time.UTC)
+	jobs := []*Job{
+		{Arrival: start.Add(time.Hour)},
+		{Arrival: start.Add(-time.Hour)},
+		{Arrival: start.Add(100 * 24 * time.Hour)},
+	}
+	counts := DailyCounts(jobs, start, 2)
+	if counts[0] != 1 || counts[1] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
