@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all fmt vet build test bench-smoke ci
+
+all: build
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Perf gate: one iteration of the Table 7 / Fig. 5 scale experiment so a
+# regression that breaks or grossly slows the benchmark path fails CI.
+bench-smoke:
+	$(GO) test -run=xxx -bench=BenchmarkTable7Figure5ScaleTest -benchtime=1x .
+
+ci: fmt vet build test bench-smoke

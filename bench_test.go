@@ -270,17 +270,17 @@ func BenchmarkAblationCoordination(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer p.Stop()
-		ch, cancel, err := p.Etcd.Watch("bench/status")
+		ws, err := p.Etcd.Watch("bench/status", false, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer cancel()
+		defer ws.Cancel()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := p.Etcd.Put("bench/status", []byte("PROCESSING"), 0); err != nil {
 				b.Fatal(err)
 			}
-			<-ch // latency from write to observed event
+			<-ws.Events() // latency from write to observed event
 		}
 	})
 	b.Run("mongo-poll", func(b *testing.B) {

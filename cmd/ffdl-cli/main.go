@@ -4,7 +4,7 @@
 //	ffdl-cli -server http://127.0.0.1:8080 submit -name train1 -user alice \
 //	    -framework Caffe -model VGG-16 -learners 2 -gpus 1 -gputype K80 \
 //	    -iterations 1000 -data datasets -prefix demo/
-//	ffdl-cli status <jobID>
+//	ffdl-cli status <jobID> [-follow]
 //	ffdl-cli list [-user alice]
 //	ffdl-cli logs <jobID> [-search iteration]
 //	ffdl-cli halt|resume|terminate <jobID>
@@ -37,6 +37,13 @@ func main() {
 		submit(*server, rest)
 	case "status":
 		needID(rest)
+		fs := flag.NewFlagSet("status", flag.ExitOnError)
+		follow := fs.Bool("follow", false, "stream status transitions until the job terminates")
+		fs.Parse(rest[1:]) //nolint:errcheck
+		if *follow {
+			followStatus(*server + "/v1/jobs/" + rest[0] + "/watch")
+			return
+		}
 		get(*server + "/v1/jobs/" + rest[0])
 	case "list":
 		fs := flag.NewFlagSet("list", flag.ExitOnError)
@@ -156,6 +163,31 @@ func post(url string) {
 	}
 	defer resp.Body.Close()
 	prettyPrint(resp.Body)
+}
+
+// followStatus streams the job's status transitions (NDJSON) and prints
+// each as it arrives; the server ends the stream at a terminal status.
+func followStatus(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		prettyPrint(resp.Body)
+		os.Exit(1)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e ffdl.StatusEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return
+			}
+			die(err)
+		}
+		fmt.Printf("%s %-12s %s\n", e.Time.Format("15:04:05.000"), e.Status, e.Message)
+	}
 }
 
 func logs(url string) {

@@ -11,6 +11,7 @@
 //	POST /v1/jobs                submit a job (JSON manifest)
 //	GET  /v1/jobs                list jobs (?user=)
 //	GET  /v1/jobs/{id}           job status + history
+//	GET  /v1/jobs/{id}/watch     stream status transitions (NDJSON, ends at terminal)
 //	GET  /v1/jobs/{id}/logs      collected logs (?search=)
 //	POST /v1/jobs/{id}/halt      HALT (checkpoint + release GPUs)
 //	POST /v1/jobs/{id}/resume    RESUME from latest checkpoint
@@ -99,8 +100,6 @@ func main() {
 	})
 
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
-		defer cancel()
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		parts := strings.SplitN(rest, "/", 2)
 		jobID := parts[0]
@@ -108,6 +107,32 @@ func main() {
 		if len(parts) == 2 {
 			action = parts[1]
 		}
+		if action == "watch" && r.Method == http.MethodGet {
+			// Event-driven follow: transitions are pushed as they
+			// happen (no poll loop); the stream ends when the job
+			// reaches a terminal status or the client disconnects.
+			ch, cancel, err := client.WatchStatus(r.Context(), jobID)
+			if err != nil {
+				fail(w, http.StatusNotFound, err)
+				return
+			}
+			defer cancel()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			flusher, _ := w.(http.Flusher)
+			enc := json.NewEncoder(w)
+			for e := range ch {
+				if err := enc.Encode(e); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
 		switch {
 		case action == "" && r.Method == http.MethodGet:
 			reply, err := client.Status(ctx, jobID)

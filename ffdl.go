@@ -23,6 +23,47 @@
 //	})
 //	status, err := client.WaitForStatus(ctx, jobID, ffdl.StatusCompleted, 10*time.Millisecond)
 //
+// To observe every status transition rather than wait for one, stream
+// them (Client.WaitForStatus itself rides this stream):
+//
+//	ch, cancel, err := client.WatchStatus(ctx, jobID)
+//	if err != nil { ... }
+//	defer cancel()
+//	for e := range ch { // PENDING, DEPLOYING, DOWNLOADING, ... in order
+//	    fmt.Println(e.Time, e.Status, e.Message)
+//	}
+//
+// # Event-driven control plane
+//
+// The control plane is reactive, mirroring the production system's
+// etcd-watch architecture (§3.3, §3.8): components record state and
+// other components watch it, so reaction latency is bounded by event
+// propagation, not by any poll interval, and an idle platform goes
+// quiescent. Ticker loops remain only as slow resync safety nets. The
+// watch chain end to end:
+//
+//   - learners write status/exit files to the job's shared NFS volume;
+//     the helper's controller container wakes on volume writes and
+//     mirrors them into etcd;
+//   - the per-job Guardian subscribes to the job's etcd prefix
+//     (learner statuses, control verbs, the done key) and aggregates
+//     into MongoDB on every write;
+//   - every MongoDB status transition is published on an in-process
+//     status bus that wakes the LCM recovery loop and feeds the API's
+//     streaming watch;
+//   - the kube-like scheduler, controllers and kubelet host loops wake
+//     on API-server watch events (pod added, capacity freed, owner
+//     changed);
+//   - Client.WatchStatus streams the transitions to users, resuming by
+//     history sequence number across API replica crashes so every
+//     transition is delivered exactly once, in order.
+//
+// The etcd watch primitive underneath (internal/etcd.Cluster.Watch)
+// survives leader failover by revision-based resume, and bounds all
+// buffers: a watcher that falls too far behind receives an explicit
+// resync (current state) rather than a silent gap, so consumers can
+// miss events safely.
+//
 // The package re-exports the platform's user-facing types from
 // internal/core and the performance-model vocabulary from internal/perf;
 // everything else (scheduling policies, substrates, experiment
@@ -47,7 +88,8 @@ type (
 	Client = core.Client
 	// JobStatus is the DL-specific job state.
 	JobStatus = core.JobStatus
-	// StatusEntry is one timestamped history record.
+	// StatusEntry is one timestamped history record (also the element
+	// type streamed by Client.WatchStatus).
 	StatusEntry = core.StatusEntry
 	// JobRecord is a stored job with manifest, status and history.
 	JobRecord = core.JobRecord

@@ -1,0 +1,3 @@
+module github.com/ffdl/ffdl
+
+go 1.24

@@ -10,6 +10,7 @@ import (
 	"github.com/ffdl/ffdl/internal/mongo"
 	"github.com/ffdl/ffdl/internal/rpc"
 	"github.com/ffdl/ffdl/internal/sched"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // RPC message types (gob-encoded).
@@ -46,6 +47,21 @@ type LogsArgs struct {
 // LogItem is one streamed log line.
 type LogItem struct{ Line LogLine }
 
+// WatchArgs opens a status watch stream from a history sequence number
+// (1-based; FromSeq <= 1 streams the full history first).
+type WatchArgs struct {
+	JobID   string
+	FromSeq int
+}
+
+// StatusItem is one streamed status transition. Seq is the transition's
+// index in the job's history, letting clients resume across replica
+// crashes without missing or duplicating transitions.
+type StatusItem struct {
+	Seq   int
+	Entry StatusEntry
+}
+
 // apiReplica is one instance of the API microservice. The paper runs
 // these as a replica set behind the K8s service registry; here each
 // replica is an RPC server registered into the shared Registry, with
@@ -76,6 +92,7 @@ func (a *apiReplica) listen() error {
 	srv.Register("API.Resume", JobArgs{}, a.control(controlResume))
 	srv.Register("API.Terminate", JobArgs{}, a.control(controlTerminate))
 	srv.RegisterStream("API.Logs", LogsArgs{}, a.handleLogs)
+	srv.RegisterStream("API.Watch", WatchArgs{}, a.handleWatch)
 	addr, err := srv.Listen()
 	if err != nil {
 		return fmt.Errorf("core: api replica %d: %w", a.index, err)
@@ -113,6 +130,14 @@ func (a *apiReplica) handleSubmit(_ context.Context, arg any) (any, error) {
 	if _, err := a.p.Jobs.Insert(doc); err != nil {
 		return nil, fmt.Errorf("core: persist job: %w", err)
 	}
+	// Announce the new PENDING job on the status bus: the LCM recovery
+	// loop and any WatchStatus subscriber wake immediately.
+	a.p.bus.Publish(StatusEvent{
+		JobID:  jobID,
+		Seq:    1,
+		Status: StatusPending,
+		Entry:  StatusEntry{Status: StatusPending, Time: now, Message: "job submitted"},
+	})
 	// Hand off to the LCM asynchronously; if every LCM replica is down
 	// the LCM recovery loop will pick the job up from MongoDB later.
 	go a.deployWithRetry(jobID)
@@ -220,6 +245,98 @@ func (a *apiReplica) handleLogs(ctx context.Context, arg any, send func(any) err
 	}
 }
 
+// handleWatch streams a job's status transitions in history order. The
+// bus subscription is taken before the MongoDB backlog is read, so no
+// transition can fall between backlog and live stream; any bus gap
+// (slow subscriber, dropped event) is refilled from MongoDB, which
+// remains the source of truth. The stream ends once the job reaches a
+// terminal status.
+func (a *apiReplica) handleWatch(ctx context.Context, arg any, send func(any) error) error {
+	req := arg.(WatchArgs)
+	next := req.FromSeq
+	if next < 1 {
+		next = 1
+	}
+	live, cancel := a.p.bus.Subscribe(req.JobID, 64)
+	defer cancel()
+
+	// refill streams everything the durable history holds from next on;
+	// it is the recovery path for any bus shortfall (gap, dropped
+	// terminal event) and the initial backlog. done=true ends the
+	// stream at a terminal status.
+	refill := func() (done bool, err error) {
+		rec, err := a.jobRecord(req.JobID)
+		if err != nil {
+			return false, err
+		}
+		if next, err = sendHistoryFrom(rec, next, send); err != nil {
+			return false, err
+		}
+		return rec.Status.Terminal(), nil
+	}
+	if done, err := refill(); err != nil || done {
+		return err
+	}
+	// Safety tick: the bus drops events for slow subscribers, and a
+	// dropped *terminal* event has no successor to reveal the gap, so
+	// the stream must periodically reconcile against MongoDB.
+	ticker := a.p.clock.NewTicker(a.p.cfg.PollInterval * 10)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			if done, err := refill(); err != nil || done {
+				return err
+			}
+		case ev, ok := <-live:
+			if !ok {
+				return nil
+			}
+			if ev.Seq < next {
+				continue // already sent from the backlog
+			}
+			if ev.Seq > next {
+				// Gap: the bus dropped events for us. The event that
+				// revealed the gap was published after its MongoDB
+				// write, so the refill includes it.
+				if done, err := refill(); err != nil || done {
+					return err
+				}
+				continue
+			}
+			if err := send(StatusItem{Seq: ev.Seq, Entry: ev.Entry}); err != nil {
+				return err
+			}
+			next++
+			if ev.Status.Terminal() {
+				return nil
+			}
+		}
+	}
+}
+
+func (a *apiReplica) jobRecord(jobID string) (JobRecord, error) {
+	doc, err := a.p.Jobs.FindOne(mongo.Filter{"_id": jobID})
+	if err != nil {
+		return JobRecord{}, fmt.Errorf("core: job %s: %w", jobID, err)
+	}
+	return docToRecord(doc), nil
+}
+
+// sendHistoryFrom streams rec's history entries with sequence >= next
+// and returns the next unsent sequence.
+func sendHistoryFrom(rec JobRecord, next int, send func(any) error) (int, error) {
+	for i := next - 1; i < len(rec.History); i++ {
+		if err := send(StatusItem{Seq: i + 1, Entry: rec.History[i]}); err != nil {
+			return next, err
+		}
+		next = i + 2
+	}
+	return next, nil
+}
+
 // crashAndRestart models a replica crash: the server drops all
 // connections, deregisters, then comes back after the configured
 // restart delay (Table 3: API 3-5s).
@@ -250,12 +367,22 @@ func (a *apiReplica) stop() {
 // Client is the typed client for the FfDL API (the CLI in Fig. 1 talks
 // to the same surface).
 type Client struct {
-	api *rpc.Balancer
+	api   *rpc.Balancer
+	clock sim.Clock
 }
 
-// NewClient returns a client over the given registry.
+// NewClient returns a client over the given registry, using the wall
+// clock for waits and reconnect backoff.
 func NewClient(reg *rpc.Registry) *Client {
-	return &Client{api: rpc.NewBalancer(reg, ServiceAPI)}
+	return &Client{api: rpc.NewBalancer(reg, ServiceAPI), clock: sim.NewRealClock()}
+}
+
+// WithClock rebinds the client's waits to clk (a platform under a
+// simulated clock hands its own clock to clients so WaitForStatus and
+// watch reconnects do not stall virtual time). It returns the client.
+func (c *Client) WithClock(clk sim.Clock) *Client {
+	c.clock = clk
+	return c
 }
 
 // Submit submits a training job, returning its id.
@@ -350,9 +477,117 @@ func (c *Client) FollowLogs(ctx context.Context, jobID string, fn func(LogLine))
 	}
 }
 
-// WaitForStatus polls until the job reaches the target status (or any
-// terminal status), returning the final observed status.
+// watchRetryDelay paces stream reconnects after an API replica crash.
+// Restart delays in this platform are milliseconds (Table 3 scales them
+// up explicitly), so a few ms keeps failover latency negligible.
+const watchRetryDelay = 5 * time.Millisecond
+
+// WatchStatus streams a job's status transitions, in order and without
+// duplicates, starting from the beginning of its history. The returned
+// channel closes after the terminal transition is delivered (or when
+// ctx/cancel fires). The stream transparently reconnects across API
+// replica crashes, resuming from the last delivered transition, so
+// every transition is observed exactly once end-to-end.
+func (c *Client) WatchStatus(ctx context.Context, jobID string) (<-chan StatusEntry, func(), error) {
+	// Synchronous existence check so callers get an immediate error for
+	// unknown jobs rather than a silently empty stream.
+	if _, err := c.Status(ctx, jobID); err != nil {
+		return nil, nil, err
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	out := make(chan StatusEntry, 16)
+	go func() {
+		defer close(out)
+		next := 1
+		for {
+			sr, err := c.api.Stream(wctx, "API.Watch", WatchArgs{JobID: jobID, FromSeq: next})
+			if err == nil {
+				var terminal bool
+				terminal, err = c.forwardWatch(wctx, sr, &next, out)
+				sr.Close()
+				if terminal {
+					return
+				}
+			}
+			if wctx.Err() != nil {
+				return
+			}
+			// Replica crashed or stream broke: back off briefly, then
+			// resume from the first undelivered transition.
+			select {
+			case <-wctx.Done():
+				return
+			case <-c.clock.After(watchRetryDelay):
+			}
+		}
+	}()
+	return out, cancel, nil
+}
+
+// forwardWatch pumps one stream connection into out, de-duplicating by
+// sequence. It reports whether a terminal transition was delivered.
+func (c *Client) forwardWatch(ctx context.Context, sr *rpc.StreamReader, next *int, out chan<- StatusEntry) (bool, error) {
+	for {
+		var item StatusItem
+		err := sr.Recv(&item)
+		if errors.Is(err, rpc.ErrStreamDone) || errors.Is(err, rpc.ErrCanceled) {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		if item.Seq < *next {
+			continue // duplicate across a reconnect
+		}
+		select {
+		case out <- item.Entry:
+			*next = item.Seq + 1
+		case <-ctx.Done():
+			return false, nil
+		}
+		if item.Entry.Status.Terminal() {
+			return true, nil
+		}
+	}
+}
+
+// WaitForStatus blocks until the job's *current* status reaches the
+// target (or any terminal status), returning the final observed
+// status; past transitions the job has already moved beyond do not
+// satisfy the wait. It rides the WatchStatus event stream, so reaction
+// time is bounded by status propagation, not a poll interval; poll is
+// only used as the fallback cadence (on the client's clock, never the
+// wall clock) when the watch stream cannot be established.
 func (c *Client) WaitForStatus(ctx context.Context, jobID string, target JobStatus, poll time.Duration) (JobStatus, error) {
+	if reply, err := c.Status(ctx, jobID); err == nil {
+		if reply.Status == target || reply.Status.Terminal() {
+			return reply.Status, nil
+		}
+		ch, cancel, werr := c.WatchStatus(ctx, jobID)
+		if werr == nil {
+			defer cancel()
+			// The stream replays the full history; skip what the
+			// status read above already covered so only genuinely new
+			// transitions are judged. A transition racing the two
+			// calls lands at an index >= skip and is still seen.
+			skip := len(reply.History)
+			for e := range ch {
+				if skip > 0 {
+					skip--
+					continue
+				}
+				if e.Status == target || e.Status.Terminal() {
+					return e.Status, nil
+				}
+			}
+			if ctx.Err() != nil {
+				return "", ctx.Err()
+			}
+			// Channel closed without a decisive transition (should not
+			// happen: streams end only at terminal); fall through to
+			// polling.
+		}
+	}
 	for {
 		reply, err := c.Status(ctx, jobID)
 		if err == nil {
@@ -363,7 +598,7 @@ func (c *Client) WaitForStatus(ctx context.Context, jobID string, target JobStat
 		select {
 		case <-ctx.Done():
 			return "", ctx.Err()
-		case <-time.After(poll):
+		case <-c.clock.After(poll):
 		}
 	}
 }

@@ -1,0 +1,69 @@
+package core
+
+import "sync"
+
+// StatusEvent is one job status transition published on the platform's
+// status bus. Seq is the 1-based index of the transition in the job's
+// MongoDB history, so subscribers can detect and refill gaps from the
+// durable record — the bus is a latency optimization, MongoDB remains
+// the source of truth (§3.2).
+type StatusEvent struct {
+	JobID  string
+	Seq    int
+	Status JobStatus
+	Entry  StatusEntry
+}
+
+// statusBus fans job status transitions out to in-process subscribers:
+// the LCM recovery loop (wakes on PENDING jobs instead of polling
+// MongoDB) and the API replicas' WatchStatus streams. Delivery is
+// best-effort with bounded buffers — a slow subscriber loses events and
+// recovers from MongoDB via Seq gaps or a resync tick.
+type statusBus struct {
+	mu    sync.Mutex
+	subs  map[int]*busSub
+	nextS int
+}
+
+type busSub struct {
+	jobID string // "" subscribes to all jobs
+	ch    chan StatusEvent
+}
+
+func newStatusBus() *statusBus {
+	return &statusBus{subs: make(map[int]*busSub)}
+}
+
+// Subscribe registers for transitions of one job (or all jobs when
+// jobID is ""). Cancel closes the channel.
+func (b *statusBus) Subscribe(jobID string, buf int) (<-chan StatusEvent, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextS++
+	id := b.nextS
+	s := &busSub{jobID: jobID, ch: make(chan StatusEvent, buf)}
+	b.subs[id] = s
+	return s.ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(s.ch)
+		}
+	}
+}
+
+// Publish delivers ev to matching subscribers without blocking.
+func (b *statusBus) Publish(ev StatusEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs {
+		if s.jobID != "" && s.jobID != ev.JobID {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default: // slow subscriber: it refills from MongoDB
+		}
+	}
+}

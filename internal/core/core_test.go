@@ -9,6 +9,7 @@ import (
 
 	"github.com/ffdl/ffdl/internal/mongo"
 	"github.com/ffdl/ffdl/internal/perf"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // newTestPlatform boots a small FfDL with 2 nodes x 4 K80 GPUs and a
@@ -567,5 +568,122 @@ func TestNodeCrashJobRecovers(t *testing.T) {
 	nodeFail, _ := p.Kube.DeletionStats()
 	if nodeFail == 0 {
 		t.Fatal("no node-failure deletions recorded")
+	}
+}
+
+// TestWatchStatusDeliversTransitionsInOrderUnderAPICrash verifies the
+// streaming status watch: every transition the job records must reach
+// the watcher exactly once and in history order, even while API
+// replicas crash and restart under the stream (the client reconnects
+// through the balancer and resumes by sequence number).
+func TestWatchStatusDeliversTransitionsInOrderUnderAPICrash(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	m := testManifest()
+	m.Learners = 2
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ch, stop, err := c.WatchStatus(ctx, jobID)
+	if err != nil {
+		t.Fatalf("WatchStatus: %v", err)
+	}
+	defer stop()
+
+	var got []StatusEntry
+	crashAt := map[int]int{1: 0, 3: 1} // crash replica 0 after 1 entry, replica 1 after 3
+	for e := range ch {
+		got = append(got, e)
+		if idx, ok := crashAt[len(got)]; ok {
+			if !p.CrashAPI(idx) {
+				t.Fatalf("CrashAPI(%d) failed", idx)
+			}
+		}
+		if e.Status.Terminal() {
+			break
+		}
+	}
+	if len(got) == 0 || got[len(got)-1].Status != StatusCompleted {
+		t.Fatalf("stream ended with %+v", got)
+	}
+
+	reply, err := c.Status(context.Background(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reply.History) {
+		t.Fatalf("streamed %d transitions, history has %d\nstream: %+v\nhistory: %+v",
+			len(got), len(reply.History), got, reply.History)
+	}
+	for i := range got {
+		if got[i].Status != reply.History[i].Status {
+			t.Fatalf("transition %d = %s, history has %s", i, got[i].Status, reply.History[i].Status)
+		}
+	}
+	if got[0].Status != StatusPending {
+		t.Fatalf("first transition = %s, want PENDING", got[0].Status)
+	}
+}
+
+// TestEventDrivenControlPlanePollIndependence is the acceptance test for
+// the event-driven refactor: with every control-loop interval cranked to
+// 100ms on a simulated clock, a 2-learner job must still complete with
+// end-to-end virtual latency dominated by the modeled container start
+// delays (~15ms), not by ticker periods. A poll-driven control plane at
+// the same intervals cannot finish in under one PollInterval — the
+// helper and guardian alone would each burn at least one 100ms tick —
+// so completing in < 100ms virtual proves no control-plane hop waits
+// for a ticker.
+func TestEventDrivenControlPlanePollIndependence(t *testing.T) {
+	fc := sim.NewFakeClock(time.Unix(0, 0))
+	// Generous settle: virtual time only advances after 15ms of wall
+	// quiescence, so raft commits and goroutine handoffs (wall-time
+	// work) never masquerade as virtual delay.
+	fc.StartAutoAdvance(15 * time.Millisecond)
+	t.Cleanup(fc.StopAutoAdvance)
+
+	cfg := Config{
+		Clock:             fc,
+		Seed:              11,
+		PollInterval:      100 * time.Millisecond,
+		SchedulerInterval: 100 * time.Millisecond,
+		ResyncInterval:    100 * time.Millisecond,
+		RendezvousTimeout: 10 * time.Second,
+	}
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	t.Cleanup(p.Stop)
+	for _, n := range []string{"node0", "node1"} {
+		p.AddNode(n, "K80", 4, 32, 256<<10)
+	}
+	p.Store.EnsureBucket("datasets")
+	if err := p.Store.Put("datasets", "mnist/shard-0", bytes.Repeat([]byte{1}, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+
+	c := p.Client()
+	m := testManifest()
+	m.Learners = 2
+	start := fc.Now()
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	status, err := c.WaitForStatus(ctx, jobID, StatusCompleted, cfg.PollInterval)
+	if err != nil || status != StatusCompleted {
+		t.Fatalf("status = %v, err = %v", status, err)
+	}
+	elapsed := fc.Since(start)
+	t.Logf("end-to-end virtual latency: %v (intervals all %v)", elapsed, cfg.PollInterval)
+	if elapsed >= cfg.PollInterval {
+		t.Fatalf("job took %v virtual — at least one control-plane hop waited for a %v ticker",
+			elapsed, cfg.PollInterval)
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strconv"
 
+	"github.com/ffdl/ffdl/internal/etcd"
 	"github.com/ffdl/ffdl/internal/kube"
 	"github.com/ffdl/ffdl/internal/mongo"
 	"github.com/ffdl/ffdl/internal/sched"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // The Guardian is FfDL's per-job delegate (§3.3): a Kubernetes Job the
@@ -174,80 +176,123 @@ func (p *Platform) teardownJob(jobID string) {
 	p.Etcd.DeletePrefix(keyJobPrefix(jobID)) //nolint:errcheck
 }
 
-// monitorJob is the Guardian's steady-state loop: aggregate learner
-// statuses from etcd into the job status in MongoDB, and react to
-// control verbs and completion.
+// monitorJob is the Guardian's steady-state loop. It subscribes to the
+// job's etcd prefix — learner statuses, the control key, the done key —
+// and re-evaluates the job on every write, the reactive posture the
+// paper describes ("controllers record learner state in etcd and other
+// components watch those keys", §3.3/§3.8). The check itself is
+// level-triggered (it re-reads state rather than trusting event
+// payloads), so the watch stream's resync contract and a slow safety
+// tick both just mean "look again", and no event ordering subtlety can
+// wedge a job.
 func (p *Platform) monitorJob(ctx *kube.PodContext, jobID string, m Manifest) int {
-	ticker := p.clock.NewTicker(p.cfg.PollInterval)
+	var ws *etcd.WatchStream
+	var events <-chan etcd.Event
+	// attach (re)establishes the prefix subscription; a failure (e.g. a
+	// guardian starting mid leader-election) degrades to the safety
+	// ticker until the next tick retries, never for the pod's lifetime.
+	attach := func() {
+		if ws != nil {
+			return
+		}
+		if w, err := p.Etcd.Watch(keyJobPrefix(jobID), true, 0); err == nil {
+			ws = w
+			events = w.Events()
+		}
+	}
+	attach()
+	defer func() {
+		if ws != nil {
+			ws.Cancel()
+		}
+	}()
+	// Safety net only: with the watch healthy this ticker does not bound
+	// reaction latency, so it runs an order of magnitude slower than the
+	// old poll.
+	ticker := p.clock.NewTicker(p.cfg.PollInterval * 10)
 	defer ticker.Stop()
 	halted := false
 	for {
+		if code, done := p.checkJob(jobID, m, &halted); done {
+			return code
+		}
 		select {
 		case <-ctx.Stop:
 			return 137 // guardian killed; kube restarts it
+		case _, ok := <-events:
+			// Coalesce the burst: one re-check covers all queued writes.
+			if !ok || sim.Coalesce(events, nil) {
+				events = nil // stream ended; ticker carries on
+			}
 		case <-ticker.C:
-		}
-
-		// Control verbs.
-		if kv, ok, _ := p.Etcd.Get(keyControl(jobID)); ok {
-			switch string(kv.Value) {
-			case controlTerminate:
-				p.setJobStatus(jobID, StatusCanceled, "terminated by user") //nolint:errcheck
-				p.teardownJob(jobID)
-				return 0
-			case controlHalt:
-				if !halted {
-					halted = true
-					p.Kube.Store().Delete(kube.KindStatefulSet, learnerSetName(jobID))
-					p.Etcd.DeletePrefix(keyJobPrefix(jobID) + "learners/")                     //nolint:errcheck
-					p.setJobStatus(jobID, StatusHalted, "halted by user; checkpoint retained") //nolint:errcheck
-				}
-			case controlResume:
-				if halted {
-					halted = false
-					p.setJobStatus(jobID, StatusResumed, "resumed from latest checkpoint") //nolint:errcheck
-					st := p.Kube.Store()
-					st.Put(kube.KindStatefulSet, learnerSetName(jobID), &kube.StatefulSet{
-						Name: learnerSetName(jobID), Replicas: m.Learners,
-						Template: kube.PodSpec{
-							Demand:      m.LearnerDemand(),
-							GPUType:     string(m.GPUType),
-							JobID:       jobID,
-							GangSize:    m.Learners,
-							Runtime:     runtimeLearner,
-							RuntimeArgs: map[string]string{"job": jobID},
-							Type:        PodTypeLearner,
-						},
-					})
-				}
-			}
-		}
-		if halted {
-			continue
-		}
-
-		// Completion.
-		if kv, ok, _ := p.Etcd.Get(keyDone(jobID)); ok {
-			code, _ := strconv.Atoi(string(kv.Value))
-			if code == 0 {
-				p.setJobStatus(jobID, StatusStoring, "storing trained model and logs") //nolint:errcheck
-				p.setJobStatus(jobID, StatusCompleted, "training completed")           //nolint:errcheck
-			} else {
-				p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("learner failed with exit code %d", code)) //nolint:errcheck
-			}
-			p.teardownJob(jobID)
-			return 0
-		}
-
-		// Aggregate learner statuses: the job is as far along as its
-		// slowest learner ("The Guardian aggregates the statuses of
-		// each learner to record the overall status of the job in
-		// MongoDB", §3.8).
-		agg, ok := p.aggregateLearnerStatus(jobID, m.Learners)
-		if ok {
-			p.setJobStatus(jobID, agg, "aggregated from learner statuses") //nolint:errcheck
+			attach()
 		}
 	}
+}
+
+// checkJob runs one level-triggered evaluation of the job's etcd state:
+// control verbs, completion, learner-status aggregation. done=true means
+// the guardian's work is over and the pod should exit with code.
+func (p *Platform) checkJob(jobID string, m Manifest, halted *bool) (code int, done bool) {
+	// Control verbs.
+	if kv, ok, _ := p.Etcd.Get(keyControl(jobID)); ok {
+		switch string(kv.Value) {
+		case controlTerminate:
+			p.setJobStatus(jobID, StatusCanceled, "terminated by user") //nolint:errcheck
+			p.teardownJob(jobID)
+			return 0, true
+		case controlHalt:
+			if !*halted {
+				*halted = true
+				p.Kube.Store().Delete(kube.KindStatefulSet, learnerSetName(jobID))
+				p.Etcd.DeletePrefix(keyJobPrefix(jobID) + "learners/")                     //nolint:errcheck
+				p.setJobStatus(jobID, StatusHalted, "halted by user; checkpoint retained") //nolint:errcheck
+			}
+		case controlResume:
+			if *halted {
+				*halted = false
+				p.setJobStatus(jobID, StatusResumed, "resumed from latest checkpoint") //nolint:errcheck
+				st := p.Kube.Store()
+				st.Put(kube.KindStatefulSet, learnerSetName(jobID), &kube.StatefulSet{
+					Name: learnerSetName(jobID), Replicas: m.Learners,
+					Template: kube.PodSpec{
+						Demand:      m.LearnerDemand(),
+						GPUType:     string(m.GPUType),
+						JobID:       jobID,
+						GangSize:    m.Learners,
+						Runtime:     runtimeLearner,
+						RuntimeArgs: map[string]string{"job": jobID},
+						Type:        PodTypeLearner,
+					},
+				})
+			}
+		}
+	}
+	if *halted {
+		return 0, false
+	}
+
+	// Completion.
+	if kv, ok, _ := p.Etcd.Get(keyDone(jobID)); ok {
+		code, _ := strconv.Atoi(string(kv.Value))
+		if code == 0 {
+			p.setJobStatus(jobID, StatusStoring, "storing trained model and logs") //nolint:errcheck
+			p.setJobStatus(jobID, StatusCompleted, "training completed")           //nolint:errcheck
+		} else {
+			p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("learner failed with exit code %d", code)) //nolint:errcheck
+		}
+		p.teardownJob(jobID)
+		return 0, true
+	}
+
+	// Aggregate learner statuses: the job is as far along as its
+	// slowest learner ("The Guardian aggregates the statuses of
+	// each learner to record the overall status of the job in
+	// MongoDB", §3.8).
+	if agg, ok := p.aggregateLearnerStatus(jobID, m.Learners); ok {
+		p.setJobStatus(jobID, agg, "aggregated from learner statuses") //nolint:errcheck
+	}
+	return 0, false
 }
 
 // aggregateLearnerStatus folds per-learner etcd statuses into one job

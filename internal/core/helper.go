@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/ffdl/ffdl/internal/kube"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // The helper pod (§3.8) contains four logical containers sharing the
@@ -52,15 +53,16 @@ func (p *Platform) runHelper(ctx *kube.PodContext) int {
 	logOffsets := make(map[int]int)
 	doneWritten := false
 
-	ticker := p.clock.NewTicker(p.cfg.PollInterval)
+	// The controller wakes on volume writes — learners publish status,
+	// exit and log files there — so observations reach etcd at event
+	// latency. The slow ticker is a safety net (the volume watch buffer
+	// is bounded and drops under burst; a scan is level-triggered and
+	// always converges). The watch channel closes when the volume is
+	// released at teardown; by then the pod is being killed via Stop.
+	writes := res.volume.Watch()
+	ticker := p.clock.NewTicker(p.cfg.PollInterval * 10)
 	defer ticker.Stop()
 	for {
-		select {
-		case <-ctx.Stop:
-			return 137
-		case <-ticker.C:
-		}
-
 		// controller: mirror learner volume files into etcd.
 		for ord := 0; ord < m.Learners; ord++ {
 			statusPath := fmt.Sprintf("learners/%d/status", ord)
@@ -85,23 +87,33 @@ func (p *Platform) runHelper(ctx *kube.PodContext) int {
 			p.collectLogs(jobID, ord, res, logOffsets)
 		}
 
-		if doneWritten {
-			continue
-		}
-		// Failure fast-path: any graceful nonzero exit fails the job.
-		for _, code := range exitSeen {
-			if code != 0 {
+		if !doneWritten {
+			// Failure fast-path: any graceful nonzero exit fails the job.
+			for _, code := range exitSeen {
+				if code != 0 {
+					p.storeResults(jobID, m)
+					p.Etcd.Put(keyDone(jobID), []byte(strconv.Itoa(code)), 0) //nolint:errcheck
+					doneWritten = true
+					break
+				}
+			}
+			if !doneWritten && len(exitSeen) == m.Learners {
+				// store-results, then signal completion.
 				p.storeResults(jobID, m)
-				p.Etcd.Put(keyDone(jobID), []byte(strconv.Itoa(code)), 0) //nolint:errcheck
+				p.Etcd.Put(keyDone(jobID), []byte("0"), 0) //nolint:errcheck
 				doneWritten = true
-				break
 			}
 		}
-		if !doneWritten && len(exitSeen) == m.Learners {
-			// store-results, then signal completion.
-			p.storeResults(jobID, m)
-			p.Etcd.Put(keyDone(jobID), []byte("0"), 0) //nolint:errcheck
-			doneWritten = true
+
+		select {
+		case <-ctx.Stop:
+			return 137
+		case _, ok := <-writes:
+			// Coalesce write bursts into one scan.
+			if !ok || sim.Coalesce(writes, nil) {
+				writes = nil // volume released; ticker + Stop remain
+			}
+		case <-ticker.C:
 		}
 	}
 }

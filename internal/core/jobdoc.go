@@ -111,9 +111,14 @@ func docToRecord(d mongo.Doc) JobRecord {
 }
 
 // setJobStatus transitions a job's status in MongoDB, appending to its
-// status history. Illegal transitions are rejected (keeping status
-// updates "dependable", §2) — except that terminal states are sticky.
+// status history, then publishes the transition on the status bus so
+// watchers react without polling. Illegal transitions are rejected
+// (keeping status updates "dependable", §2) — except that terminal
+// states are sticky. Writes are serialized per platform so the bus
+// sequence numbers match the MongoDB history exactly.
 func (p *Platform) setJobStatus(jobID string, to JobStatus, msg string) error {
+	p.statusMu.Lock()
+	defer p.statusMu.Unlock()
 	doc, err := p.Jobs.FindOne(mongo.Filter{"_id": jobID})
 	if err != nil {
 		return fmt.Errorf("core: job %s not found: %w", jobID, err)
@@ -135,7 +140,20 @@ func (p *Platform) setJobStatus(jobID string, to JobStatus, msg string) error {
 			"status": string(to), "time": now.Format(time.RFC3339Nano), "message": msg,
 		}},
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	seq := 1
+	if hist, ok := doc["history"].([]any); ok {
+		seq = len(hist) + 1
+	}
+	p.bus.Publish(StatusEvent{
+		JobID:  jobID,
+		Seq:    seq,
+		Status: to,
+		Entry:  StatusEntry{Status: to, Time: now, Message: msg},
+	})
+	return nil
 }
 
 // jobStatus reads a job's current status.

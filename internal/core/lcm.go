@@ -125,22 +125,36 @@ func (l *lcmReplica) handleTerminate(_ context.Context, arg any) (any, error) {
 // recoveryLoop re-deploys PENDING jobs that have no Guardian. This is
 // the "in the case of a failure that necessitates that the entire job
 // be restarted, information stored in MongoDB can be used readily
-// without the need for user intervention" path (§3.2).
+// without the need for user intervention" path (§3.2). It wakes on the
+// job-status event bus — a submitted job's PENDING event arrives the
+// moment the API persists it — and only falls back to scanning MongoDB
+// on a slow safety tick, covering bus drops and jobs submitted before
+// this replica started.
 func (l *lcmReplica) recoveryLoop() {
+	events, cancel := l.p.bus.Subscribe("", 256)
+	defer cancel()
 	ticker := l.p.clock.NewTicker(l.p.cfg.PollInterval * 10)
 	defer ticker.Stop()
+	scan := func() {
+		docs := l.p.Jobs.Find(mongo.Filter{"status": string(StatusPending)}, mongo.FindOpts{})
+		for _, d := range docs {
+			id, _ := d["_id"].(string)
+			if id != "" {
+				l.ensureGuardian(id) //nolint:errcheck // retried next wake
+			}
+		}
+	}
+	scan() // catch anything persisted before the subscription
 	for {
 		select {
 		case <-l.p.stopCh:
 			return
-		case <-ticker.C:
-			docs := l.p.Jobs.Find(mongo.Filter{"status": string(StatusPending)}, mongo.FindOpts{})
-			for _, d := range docs {
-				id, _ := d["_id"].(string)
-				if id != "" {
-					l.ensureGuardian(id) //nolint:errcheck // retried next tick
-				}
+		case ev := <-events:
+			if ev.Status == StatusPending {
+				l.ensureGuardian(ev.JobID) //nolint:errcheck // safety tick retries
 			}
+		case <-ticker.C:
+			scan()
 		}
 	}
 }

@@ -159,6 +159,12 @@ type Platform struct {
 
 	Registry *rpc.Registry
 
+	// bus fans out job status transitions to in-process subscribers
+	// (LCM recovery, API WatchStatus streams); statusMu serializes
+	// status writes so bus sequence numbers match MongoDB history.
+	bus      *statusBus
+	statusMu sync.Mutex
+
 	mu        sync.Mutex
 	apis      []*apiReplica
 	lcms      []*lcmReplica
@@ -227,6 +233,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		NFS:       prov,
 		Metrics:   NewMetricsService(),
 		Registry:  rpc.NewRegistry(),
+		bus:       newStatusBus(),
 		resources: make(map[string]*jobResources),
 		stopCh:    make(chan struct{}),
 	}
@@ -258,9 +265,10 @@ func (p *Platform) AddNode(name, gpuType string, gpus int, cpus int, memMB int64
 	})
 }
 
-// Client returns a load-balanced client for the platform's API service.
+// Client returns a load-balanced client for the platform's API service,
+// bound to the platform clock so waits run in simulated time.
 func (p *Platform) Client() *Client {
-	return NewClient(p.Registry)
+	return NewClient(p.Registry).WithClock(p.clock)
 }
 
 // Clock returns the platform clock.

@@ -30,6 +30,10 @@ type Options struct {
 	// ProposalTimeout bounds how long a client call waits for commit.
 	// Defaults to 5s.
 	ProposalTimeout time.Duration
+	// WatchHistory is how many recent events each replica retains for
+	// watch resume-from-revision; a watcher resuming past the retained
+	// window gets a resync instead of a replay. Defaults to 1024.
+	WatchHistory int
 }
 
 func (o *Options) defaults() {
@@ -50,6 +54,9 @@ func (o *Options) defaults() {
 	}
 	if o.ProposalTimeout <= 0 {
 		o.ProposalTimeout = 5 * time.Second
+	}
+	if o.WatchHistory <= 0 {
+		o.WatchHistory = 1024
 	}
 }
 
@@ -91,7 +98,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 	rng := sim.NewRNG(opts.Seed)
 	for i := 0; i < opts.Replicas; i++ {
-		st := newStoreState(opts.Clock.Now)
+		st := newStoreState(opts.Clock.Now, opts.WatchHistory)
 		cfg := Config{
 			ID: i, Peers: peers,
 			SnapshotThreshold: opts.SnapshotThreshold,
@@ -177,14 +184,17 @@ func (c *Cluster) leaderIndex() int {
 	return -1
 }
 
-// WaitLeader blocks until a leader is elected.
+// WaitLeader blocks until a leader is elected. The wait runs on the
+// configured Clock so simulated-clock runs stay deterministic (a
+// FakeClock needs its auto-advancer running).
 func (c *Cluster) WaitLeader(timeout time.Duration) (int, error) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	clk := c.opts.Clock
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		if li := c.leaderIndex(); li >= 0 {
 			return li, nil
 		}
-		time.Sleep(c.opts.TickInterval)
+		clk.Sleep(c.opts.TickInterval)
 	}
 	return -1, fmt.Errorf("etcd: no leader within %v", timeout)
 }
@@ -213,24 +223,30 @@ func (c *Cluster) propose(cmd *command) (result, error) {
 		c.mu.Unlock()
 	}()
 
-	deadline := time.Now().Add(c.opts.ProposalTimeout)
+	clk := c.opts.Clock
+	deadline := clk.Now().Add(c.opts.ProposalTimeout)
 	for {
 		li := c.leaderIndex()
 		if li >= 0 {
 			if _, _, err := c.nodes[li].Propose(data); err == nil {
 				// Wait for apply, but re-propose if leadership moves
-				// before commit.
+				// before commit. A stoppable timer (not After) so a
+				// FakeClock holds no stale waiters that would drag its
+				// auto-advancer forward.
+				t := clk.NewTimer(20 * c.opts.TickInterval)
 				select {
 				case res := <-ch:
+					t.Stop()
 					c.noteRev(res.rev)
 					if res.err != nil {
 						return res, res.err
 					}
 					return res, nil
-				case <-time.After(20 * c.opts.TickInterval):
+				case <-t.C:
 					// Check for dedup-applied result (another replica
 					// applied and the waiter raced).
 				case <-c.stopCh:
+					t.Stop()
 					return result{}, ErrStopped
 				}
 				c.mu.Lock()
@@ -242,10 +258,10 @@ func (c *Cluster) propose(cmd *command) (result, error) {
 				}
 			}
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return result{}, ErrTimeout
 		}
-		time.Sleep(c.opts.TickInterval)
+		clk.Sleep(c.opts.TickInterval)
 	}
 }
 
@@ -347,12 +363,13 @@ func (c *Cluster) leaderState() (*storeState, error) {
 	}
 	st := c.states[li]
 	want := c.lastRev.Load()
-	deadline := time.Now().Add(c.opts.ProposalTimeout)
+	clk := c.opts.Clock
+	deadline := clk.Now().Add(c.opts.ProposalTimeout)
 	for st.revision() < want {
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return nil, ErrTimeout
 		}
-		time.Sleep(c.opts.TickInterval / 2)
+		clk.Sleep(c.opts.TickInterval / 2)
 		// Leadership may move while we wait.
 		if li2 := c.leaderIndex(); li2 >= 0 && li2 != li {
 			li = li2
@@ -360,29 +377,6 @@ func (c *Cluster) leaderState() (*storeState, error) {
 		}
 	}
 	return st, nil
-}
-
-// Watch streams events for a single key. The returned cancel must be
-// called to release the watcher. Events are delivered from the replica
-// that was leader at registration time; that replica keeps applying all
-// committed mutations even if leadership later moves, so no events are
-// lost while it stays up.
-func (c *Cluster) Watch(key string) (<-chan Event, func(), error) {
-	return c.watch(key, false)
-}
-
-// WatchPrefix streams events for every key under prefix.
-func (c *Cluster) WatchPrefix(prefix string) (<-chan Event, func(), error) {
-	return c.watch(prefix, true)
-}
-
-func (c *Cluster) watch(key string, prefix bool) (<-chan Event, func(), error) {
-	st, err := c.leaderState()
-	if err != nil {
-		return nil, nil, err
-	}
-	w, cancel := st.addWatcher(key, prefix, 128)
-	return w.ch, cancel, nil
 }
 
 // Isolate cuts a node off from the cluster (on=true), modeling a crash or

@@ -129,11 +129,11 @@ func TestCompareAndSwap(t *testing.T) {
 
 func TestWatchKey(t *testing.T) {
 	c := newTestCluster(t, Options{})
-	ch, cancel, err := c.Watch("status")
+	ws, err := c.Watch("status", false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cancel()
+	defer ws.Cancel()
 	if _, err := c.Put("status", []byte("RUNNING"), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestWatchKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case ev := <-ch:
+	case ev := <-ws.Events():
 		if ev.Type != EventPut || string(ev.KV.Value) != "RUNNING" {
 			t.Fatalf("event = %+v", ev)
 		}
@@ -149,7 +149,7 @@ func TestWatchKey(t *testing.T) {
 		t.Fatal("no watch event")
 	}
 	select {
-	case ev := <-ch:
+	case ev := <-ws.Events():
 		t.Fatalf("unexpected event for other key: %+v", ev)
 	case <-time.After(50 * time.Millisecond):
 	}
@@ -157,11 +157,11 @@ func TestWatchKey(t *testing.T) {
 
 func TestWatchPrefixStreamsAll(t *testing.T) {
 	c := newTestCluster(t, Options{})
-	ch, cancel, err := c.WatchPrefix("jobs/j1/")
+	ws, err := c.Watch("jobs/j1/", true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cancel()
+	defer ws.Cancel()
 	for i := 0; i < 3; i++ {
 		if _, err := c.Put(fmt.Sprintf("jobs/j1/learner%d", i), []byte("READY"), 0); err != nil {
 			t.Fatal(err)
@@ -174,7 +174,7 @@ func TestWatchPrefixStreamsAll(t *testing.T) {
 	timeout := time.After(2 * time.Second)
 	for puts+dels < 4 {
 		select {
-		case ev := <-ch:
+		case ev := <-ws.Events():
 			switch ev.Type {
 			case EventPut:
 				puts++
@@ -190,6 +190,136 @@ func TestWatchPrefixStreamsAll(t *testing.T) {
 	}
 }
 
+// TestWatchFromRevisionReplays proves a watcher can resume from an old
+// revision and receive the missed events from the retained history.
+func TestWatchFromRevisionReplays(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	var first uint64
+	for i := 0; i < 5; i++ {
+		rev, err := c.Put(fmt.Sprintf("jobs/j/l%d", i), []byte("S"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == 0 {
+			first = rev
+		}
+	}
+	ws, err := c.Watch("jobs/j/", true, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Cancel()
+	for i := 0; i < 5; i++ {
+		select {
+		case ev := <-ws.Events():
+			want := fmt.Sprintf("jobs/j/l%d", i)
+			if ev.Type != EventPut || ev.KV.Key != want {
+				t.Fatalf("replayed event %d = %+v, want PUT %s", i, ev, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("missing replayed event %d", i)
+		}
+	}
+}
+
+// TestWatchCompactedHistoryResyncs proves the overflow→resync contract:
+// resuming past the retained history window yields an EventResync marker
+// followed by the current state, not a silent gap.
+func TestWatchCompactedHistoryResyncs(t *testing.T) {
+	c := newTestCluster(t, Options{WatchHistory: 8})
+	for i := 0; i < 50; i++ {
+		if _, err := c.Put(fmt.Sprintf("k%02d", i%5), []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, err := c.Watch("k", true, 1) // revision 1 is long compacted
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Cancel()
+	select {
+	case ev := <-ws.Events():
+		if ev.Type != EventResync {
+			t.Fatalf("first event = %v, want RESYNC", ev.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no resync event")
+	}
+	seen := make(map[string]string)
+	for len(seen) < 5 {
+		select {
+		case ev := <-ws.Events():
+			if ev.Type != EventPut {
+				t.Fatalf("post-resync event = %+v", ev)
+			}
+			seen[ev.KV.Key] = string(ev.KV.Value)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("resync delivered only %d/5 keys", len(seen))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if v := seen[k]; v != fmt.Sprintf("v%d", 45+i) {
+			t.Fatalf("resync state %s = %q", k, v)
+		}
+	}
+}
+
+// TestWatchResumesAcrossLeaderFailover is the dependability heart of the
+// event-driven control plane: a prefix watch keeps delivering every
+// event, in revision order without duplicates, while the replica it was
+// attached to is isolated and leadership moves.
+func TestWatchResumesAcrossLeaderFailover(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3})
+	ws, err := c.Watch("jobs/", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Cancel()
+
+	var wantRevs []uint64
+	put := func(i int) {
+		rev, err := c.Put(fmt.Sprintf("jobs/j/l%d", i), []byte("S"), 0)
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		wantRevs = append(wantRevs, rev)
+	}
+	for i := 0; i < 3; i++ {
+		put(i)
+	}
+	// Kill the replica the watch is attached to (the leader at
+	// registration time) and keep writing through the new leader.
+	old := c.Leader()
+	c.Isolate(old, true)
+	for i := 3; i < 10; i++ {
+		put(i)
+	}
+
+	var got []uint64
+	timeout := time.After(10 * time.Second)
+	for len(got) < len(wantRevs) {
+		select {
+		case ev, ok := <-ws.Events():
+			if !ok {
+				t.Fatalf("stream closed after %d/%d events", len(got), len(wantRevs))
+			}
+			if ev.Type == EventResync {
+				t.Fatal("failover forced a resync; history replay expected")
+			}
+			got = append(got, ev.Revision)
+		case <-timeout:
+			t.Fatalf("delivered %d/%d events across failover", len(got), len(wantRevs))
+		}
+	}
+	for i, rev := range got {
+		if rev != wantRevs[i] {
+			t.Fatalf("event %d revision = %d, want %d (got %v want %v)", i, rev, wantRevs[i], got, wantRevs)
+		}
+	}
+	c.Isolate(old, false)
+}
+
 func TestLeaseExpiryDeletesKeys(t *testing.T) {
 	c := newTestCluster(t, Options{})
 	id, err := c.Grant(50 * time.Millisecond)
@@ -199,13 +329,13 @@ func TestLeaseExpiryDeletesKeys(t *testing.T) {
 	if _, err := c.Put("ephemeral", []byte("x"), id); err != nil {
 		t.Fatal(err)
 	}
-	ch, cancel, err := c.Watch("ephemeral")
+	ws, err := c.Watch("ephemeral", false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cancel()
+	defer ws.Cancel()
 	select {
-	case ev := <-ch:
+	case ev := <-ws.Events():
 		if ev.Type != EventExpire {
 			t.Fatalf("event = %v, want EXPIRE", ev.Type)
 		}

@@ -28,6 +28,12 @@ const (
 	EventPut EventType = iota + 1
 	EventDelete
 	EventExpire // lease expiry; a special delete, surfaced distinctly
+	// EventResync marks a gap in the event stream: the watcher fell too
+	// far behind (or resumed past the retained history) and intermediate
+	// events were lost. It is followed by EventPut events synthesizing
+	// the current state under the watched key/prefix; consumers that
+	// track deletions must re-list on seeing it.
+	EventResync
 )
 
 func (t EventType) String() string {
@@ -38,6 +44,8 @@ func (t EventType) String() string {
 		return "DELETE"
 	case EventExpire:
 		return "EXPIRE"
+	case EventResync:
+		return "RESYNC"
 	default:
 		return "UNKNOWN"
 	}
@@ -106,6 +114,13 @@ type storeState struct {
 	nextW      int
 	now        func() time.Time
 	appliedReq map[uint64]result
+
+	// hist retains the most recent histCap events so a resuming watcher
+	// can replay from a revision instead of re-listing. Trimmed at
+	// revision boundaries; a resume older than the retained floor gets a
+	// resync instead.
+	hist    []Event
+	histCap int
 }
 
 // watcher receives events for a key or prefix.
@@ -115,15 +130,20 @@ type watcher struct {
 	prefix bool
 	ch     chan Event
 	closed bool
+	// overflowed is set when an event could not be buffered; the owning
+	// WatchStream notices and re-registers from its last revision,
+	// getting a replay or resync instead of a silent gap.
+	overflowed bool
 }
 
-func newStoreState(now func() time.Time) *storeState {
+func newStoreState(now func() time.Time, histCap int) *storeState {
 	return &storeState{
 		kv:         make(map[string]KV),
 		leases:     make(map[int64]*leaseRec),
 		watchers:   make(map[int]*watcher),
 		now:        now,
 		appliedReq: make(map[uint64]result),
+		histCap:    histCap,
 	}
 }
 
@@ -262,28 +282,60 @@ func (s *storeState) revokeLeaseLocked(id int64, typ EventType) result {
 }
 
 func (s *storeState) notifyLocked(ev Event) {
+	s.appendHistLocked(ev)
 	for _, w := range s.watchers {
 		if w.closed {
 			continue
 		}
-		match := (w.prefix && strings.HasPrefix(ev.KV.Key, w.key)) || (!w.prefix && ev.KV.Key == w.key)
-		if !match {
+		if !w.matches(ev.KV.Key) {
 			continue
 		}
 		select {
 		case w.ch <- ev:
 		default:
-			// Slow watcher: drop oldest by draining one, then retry once.
-			select {
-			case <-w.ch:
-			default:
-			}
-			select {
-			case w.ch <- ev:
-			default:
-			}
+			// Slow watcher: drop the event and mark the gap. The watch
+			// stream layer re-registers from its last delivered revision
+			// (replay from history, or resync if compacted), so no
+			// consumer ever sees a silent hole.
+			w.overflowed = true
 		}
 	}
+}
+
+func (w *watcher) matches(key string) bool {
+	if w.prefix {
+		return strings.HasPrefix(key, w.key)
+	}
+	return key == w.key
+}
+
+// appendHistLocked records an event, trimming old history at revision
+// boundaries so replay never starts mid-revision.
+func (s *storeState) appendHistLocked(ev Event) {
+	if s.histCap <= 0 {
+		return
+	}
+	s.hist = append(s.hist, ev)
+	if len(s.hist) <= s.histCap {
+		return
+	}
+	cut := len(s.hist) - s.histCap
+	// Advance the cut past any events sharing the revision of the last
+	// dropped event (multi-key deletes emit several events at one
+	// revision; splitting them would corrupt a replay).
+	for cut < len(s.hist) && s.hist[cut].Revision == s.hist[cut-1].Revision {
+		cut++
+	}
+	s.hist = append([]Event(nil), s.hist[cut:]...)
+}
+
+// overflowOf reports and clears a watcher's overflow flag.
+func (s *storeState) overflowOf(w *watcher) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ov := w.overflowed
+	w.overflowed = false
+	return ov
 }
 
 // revision returns the replica's current revision.
@@ -330,14 +382,41 @@ func (s *storeState) expiredLeases() []int64 {
 	return out
 }
 
-// addWatcher registers a watcher and returns it with a cancel func.
-func (s *storeState) addWatcher(key string, prefix bool, buf int) (*watcher, func()) {
+// addWatcherFrom atomically registers a watcher and computes the backlog
+// of events the caller needs to catch up from fromRev (inclusive).
+// Holding the lock across both steps guarantees the backlog and the live
+// stream are gap-free and non-overlapping. If fromRev predates the
+// retained history, the backlog is instead an EventResync marker followed
+// by the current state synthesized as puts.
+func (s *storeState) addWatcherFrom(key string, prefix bool, fromRev uint64, buf int) (*watcher, []Event, func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextW++
 	w := &watcher{id: s.nextW, key: key, prefix: prefix, ch: make(chan Event, buf)}
 	s.watchers[w.id] = w
-	return w, func() {
+
+	var backlog []Event
+	if fromRev > 0 && fromRev <= s.rev {
+		if len(s.hist) > 0 && s.hist[0].Revision <= fromRev {
+			for _, ev := range s.hist {
+				if ev.Revision >= fromRev && w.matches(ev.KV.Key) {
+					backlog = append(backlog, ev)
+				}
+			}
+		} else {
+			// Compacted past fromRev: resync from current state.
+			backlog = append(backlog, Event{Type: EventResync, Revision: s.rev})
+			for k, kv := range s.kv {
+				if w.matches(k) {
+					backlog = append(backlog, Event{Type: EventPut, KV: kv, Revision: kv.ModRevision})
+				}
+			}
+			sort.Slice(backlog[1:], func(i, j int) bool {
+				return backlog[1+i].KV.Key < backlog[1+j].KV.Key
+			})
+		}
+	}
+	return w, backlog, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if !w.closed {
@@ -404,6 +483,9 @@ func (s *storeState) restore(data []byte) {
 	for _, id := range snap.Applied {
 		s.appliedReq[id] = result{}
 	}
+	// A snapshot carries no event history: any watcher resuming against
+	// this replica below the snapshot revision must resync.
+	s.hist = nil
 }
 
 type storeSnapshot struct {

@@ -92,10 +92,18 @@ type Cluster struct {
 	mu       sync.Mutex
 	runtimes map[string]Runtime
 	kubelets map[string]*kubelet
-	podStops map[string]*podStop
+	// podStops is keyed by pod UID, not name: a recreated pod (same
+	// name, fresh UID) must never be able to overwrite — or be killed
+	// through — a dying predecessor's stop channel.
+	podStops map[uint64]*podStop
 
 	stopCh chan struct{}
-	wg     sync.WaitGroup
+	// loopWG tracks the control loops (scheduler, controllers, node
+	// controller, kubelet host). Stop waits for them before stopping
+	// kubelets: only the kubelet host loop dispatches pod processes, so
+	// after it exits no kubelet WaitGroup can grow and the
+	// Add-after-Wait hazard is structurally impossible.
+	loopWG sync.WaitGroup
 
 	// deletionsByNodeFailure counts pods deleted by eviction, for the
 	// Fig. 7/8 analytics.
@@ -111,14 +119,14 @@ func NewCluster(cfg Config) *Cluster {
 		store:    NewStore(),
 		runtimes: make(map[string]Runtime),
 		kubelets: make(map[string]*kubelet),
-		podStops: make(map[string]*podStop),
+		podStops: make(map[uint64]*podStop),
 		stopCh:   make(chan struct{}),
 	}
-	c.wg.Add(4)
-	go func() { defer c.wg.Done(); c.schedulerLoop() }()
-	go func() { defer c.wg.Done(); c.controllerLoop() }()
-	go func() { defer c.wg.Done(); c.nodeControllerLoop() }()
-	go func() { defer c.wg.Done(); c.kubeletStartLoop() }()
+	c.loopWG.Add(4)
+	go func() { defer c.loopWG.Done(); c.schedulerLoop() }()
+	go func() { defer c.loopWG.Done(); c.controllerLoop() }()
+	go func() { defer c.loopWG.Done(); c.nodeControllerLoop() }()
+	go func() { defer c.loopWG.Done(); c.kubeletStartLoop() }()
 	return c
 }
 
@@ -188,31 +196,42 @@ func (c *Cluster) CordonNode(name string) {
 // KillPod terminates a pod's process (kubectl delete-pod semantics); the
 // owning controller will recreate it. It reports whether the pod existed.
 func (c *Cluster) KillPod(name, reason string) bool {
+	pod, exists := c.store.GetPod(name)
+	if !exists {
+		return false
+	}
 	c.mu.Lock()
-	stop, ok := c.podStops[name]
+	stop, ok := c.podStops[pod.UID]
 	if ok {
-		delete(c.podStops, name)
+		delete(c.podStops, pod.UID)
 	}
 	c.mu.Unlock()
 	if ok {
 		stop.close()
 	}
-	// Pods not yet running are failed directly.
-	return c.store.UpdatePod(name, func(p *Pod) {
-		if !p.Terminated() && !ok {
+	// Pods not yet running are failed directly (guarded by UID so the
+	// kill can never land on a later incarnation of the name).
+	c.store.UpdatePod(name, func(p *Pod) {
+		if p.UID == pod.UID && !p.Terminated() && !ok {
 			p.Status.Phase = PodFailed
 			p.Status.Reason = reason
 			p.Status.FinishedAt = c.cfg.Clock.Now()
 		}
 	})
+	return true
 }
 
 // DeletePod removes a pod object entirely, stopping its process first.
 func (c *Cluster) DeletePod(name, reason string) {
+	pod, exists := c.store.GetPod(name)
 	c.mu.Lock()
-	stop, ok := c.podStops[name]
-	if ok {
-		delete(c.podStops, name)
+	var stop *podStop
+	var ok bool
+	if exists {
+		stop, ok = c.podStops[pod.UID]
+		if ok {
+			delete(c.podStops, pod.UID)
+		}
 	}
 	c.totalDeletions++
 	if reason == "NodeFailure" {
@@ -276,6 +295,10 @@ func (c *Cluster) Stop() {
 	default:
 	}
 	close(c.stopCh)
+	// Control loops first: after they exit, no new pod process can be
+	// dispatched onto a kubelet, so the kubelet WaitGroups below are
+	// final.
+	c.loopWG.Wait()
 	c.mu.Lock()
 	kls := make([]*kubelet, 0, len(c.kubelets))
 	for _, kl := range c.kubelets {
@@ -290,15 +313,14 @@ func (c *Cluster) Stop() {
 	// Anything left was registered but never picked up by a kubelet.
 	c.mu.Lock()
 	stops := make([]*podStop, 0, len(c.podStops))
-	for name, stop := range c.podStops {
+	for uid, stop := range c.podStops {
 		stops = append(stops, stop)
-		delete(c.podStops, name)
+		delete(c.podStops, uid)
 	}
 	c.mu.Unlock()
 	for _, stop := range stops {
 		stop.close()
 	}
-	c.wg.Wait()
 }
 
 // podStop is an idempotently-closable kill signal for one pod process.
@@ -311,9 +333,10 @@ func newPodStop() *podStop { return &podStop{ch: make(chan struct{})} }
 
 func (p *podStop) close() { p.once.Do(func() { close(p.ch) }) }
 
-// registerPodStop installs the kill channel for a starting pod; it
-// returns false if the cluster is stopping.
-func (c *Cluster) registerPodStop(name string, stop *podStop) bool {
+// registerPodStop installs the kill channel for a starting pod
+// incarnation; it returns false if the cluster is stopping. UIDs are
+// unique, so registration can never clobber another incarnation.
+func (c *Cluster) registerPodStop(uid uint64, stop *podStop) bool {
 	select {
 	case <-c.stopCh:
 		return false
@@ -321,24 +344,14 @@ func (c *Cluster) registerPodStop(name string, stop *podStop) bool {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.podStops[name] = stop
+	c.podStops[uid] = stop
 	return true
 }
 
-func (c *Cluster) unregisterPodStop(name string) {
+func (c *Cluster) unregisterPodStop(uid uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.podStops, name)
-}
-
-// unregisterPodStop2 removes the entry only if it still belongs to this
-// incarnation.
-func (c *Cluster) unregisterPodStop2(name string, stop *podStop) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.podStops[name] == stop {
-		delete(c.podStops, name)
-	}
+	delete(c.podStops, uid)
 }
 
 func (c *Cluster) recordEvent(evType EventType, reason, kind, object, podType, msg string) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // controllerLoop reconciles StatefulSets, Deployments and Jobs
@@ -17,14 +19,40 @@ func (c *Cluster) controllerLoop() {
 	ticker := c.cfg.Clock.NewTicker(c.cfg.ResyncInterval)
 	defer ticker.Stop()
 	for {
+		wake := false
 		select {
 		case <-c.stopCh:
 			return
-		case <-events:
-			c.reconcileAll()
+		case ev := <-events:
+			wake = controllerRelevant(ev)
+			sim.Coalesce(events, func(ev WatchEvent) { // coalesce event bursts
+				wake = wake || controllerRelevant(ev)
+			})
 		case <-ticker.C:
+			wake = true // resync safety net (also garbage-collects)
+		}
+		if wake {
 			c.reconcileAll()
 		}
+	}
+}
+
+// controllerRelevant filters the store's event stream down to changes a
+// reconcile pass can act on: owner-object changes and pod terminations/
+// deletions. Node heartbeats and pod phase progress would otherwise make
+// every reconcile loop spin at the heartbeat rate.
+func controllerRelevant(ev WatchEvent) bool {
+	switch ev.Kind {
+	case KindStatefulSet, KindDeployment, KindJob:
+		return true
+	case KindPod:
+		if ev.Type == WatchDeleted {
+			return true
+		}
+		p, ok := ev.Object.(*Pod)
+		return ok && p.Terminated()
+	default:
+		return false
 	}
 }
 

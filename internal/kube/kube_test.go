@@ -137,6 +137,55 @@ func TestSchedulerHonorsGPUType(t *testing.T) {
 	}
 }
 
+// TestSchedulerWakesOnPodAddWithoutTick proves the scheduler is
+// event-driven: with the interval ticker effectively disabled (1 hour),
+// a freshly created pod must still be bound and run promptly, woken by
+// the store watch alone.
+func TestSchedulerWakesOnPodAddWithoutTick(t *testing.T) {
+	c := testCluster(t, Config{
+		SchedulerInterval: time.Hour,
+		ResyncInterval:    time.Hour,
+	})
+	c.RegisterRuntime("quick", completeAfter(time.Millisecond))
+	c.AddNode("node0", "K80", gpuRes(4))
+	start := time.Now()
+	c.Store().PutPod(&Pod{Name: "p1", Spec: PodSpec{Demand: gpuRes(1), Runtime: "quick"}})
+	waitFor(t, "event-driven bind+run", 3*time.Second, func() bool {
+		p, ok := c.Store().GetPod("p1")
+		return ok && p.Status.Phase == PodSucceeded
+	})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pod took %v; scheduler waited for a tick", elapsed)
+	}
+}
+
+// TestSchedulerWakesOnFreedCapacity: a pod waiting for space must be
+// bound as soon as the blocking pod terminates — driven by the
+// termination watch event, not a scheduler tick.
+func TestSchedulerWakesOnFreedCapacity(t *testing.T) {
+	c := testCluster(t, Config{
+		SchedulerInterval: time.Hour,
+		ResyncInterval:    time.Hour,
+	})
+	c.RegisterRuntime("block", blockUntilKilled)
+	c.RegisterRuntime("quick", completeAfter(time.Millisecond))
+	c.AddNode("node0", "K80", gpuRes(1))
+	c.Store().PutPod(&Pod{Name: "hog", Spec: PodSpec{Demand: gpuRes(1), Runtime: "block"}})
+	waitFor(t, "hog running", 3*time.Second, func() bool {
+		p, ok := c.Store().GetPod("hog")
+		return ok && p.Status.Phase == PodRunning
+	})
+	c.Store().PutPod(&Pod{Name: "waiter", Spec: PodSpec{Demand: gpuRes(1), Runtime: "quick"}})
+	waitFor(t, "FailedScheduling for waiter", 3*time.Second, func() bool {
+		return len(c.Store().Events("FailedScheduling")) > 0
+	})
+	c.KillPod("hog", "test")
+	waitFor(t, "waiter runs after capacity freed", 3*time.Second, func() bool {
+		p, ok := c.Store().GetPod("waiter")
+		return ok && p.Status.Phase == PodSucceeded
+	})
+}
+
 func TestStatefulSetCreatesAndRestartsPods(t *testing.T) {
 	c := testCluster(t, Config{})
 	c.RegisterRuntime("block", blockUntilKilled)

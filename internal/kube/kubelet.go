@@ -14,8 +14,10 @@ type kubelet struct {
 
 	mu      sync.Mutex
 	crashed bool
-	// running tracks per-pod stop channels for node-crash kill.
-	running map[string]*podStop
+	// running tracks stop channels for node-crash kill, keyed by pod
+	// UID so overlapping incarnations of one pod name cannot shadow
+	// each other.
+	running map[uint64]*podStop
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -25,7 +27,7 @@ func newKubelet(c *Cluster, node string) *kubelet {
 	return &kubelet{
 		cluster: c,
 		node:    node,
-		running: make(map[string]*podStop),
+		running: make(map[uint64]*podStop),
 		quit:    make(chan struct{}),
 	}
 }
@@ -69,10 +71,10 @@ func (k *kubelet) crash() {
 	k.mu.Lock()
 	k.crashed = true
 	stops := make([]*podStop, 0, len(k.running))
-	for name, stop := range k.running {
+	for uid, stop := range k.running {
 		stops = append(stops, stop)
-		delete(k.running, name)
-		k.cluster.unregisterPodStop(name)
+		delete(k.running, uid)
+		k.cluster.unregisterPodStop(uid)
 	}
 	k.mu.Unlock()
 	for _, stop := range stops {
@@ -113,22 +115,34 @@ func (c *Cluster) kubeletStartLoop() {
 	// started maps pod name -> UID of the incarnation already handed to
 	// a kubelet, so a recreated pod (same name, fresh UID) starts again
 	// while duplicate watch events for one incarnation are ignored.
+	// Entries are pruned only on the resync tick, never on WatchDeleted:
+	// a queued Deleted event for the previous incarnation can arrive
+	// after its replacement was already started, and re-arming the name
+	// then would double-start the replacement.
 	started := make(map[string]uint64)
 	for {
 		select {
 		case <-c.stopCh:
 			return
 		case ev := <-events:
-			if ev.Type == WatchDeleted {
-				delete(started, ev.Name)
-				continue
-			}
-			if p, ok := ev.Object.(*Pod); ok {
+			if p, ok := ev.Object.(*Pod); ok && ev.Type != WatchDeleted {
 				c.maybeStartPod(p, started)
 			}
 		case <-ticker.C:
-			for _, p := range c.store.ListPods("") {
+			pods := c.store.ListPods("")
+			live := make(map[string]bool, len(pods))
+			for _, p := range pods {
+				live[p.Name] = true
 				c.maybeStartPod(p, started)
+			}
+			// Prune names with no pod object. Safe against recreation
+			// races because this loop is the only writer of started:
+			// any entry present here was recorded before the List above,
+			// so its pod (if still wanted) is in the snapshot.
+			for name := range started {
+				if !live[name] {
+					delete(started, name)
+				}
 			}
 		}
 	}
@@ -167,26 +181,33 @@ func (k *kubelet) runPod(p *Pod) {
 		k.mu.Unlock()
 		return
 	}
-	k.running[p.Name] = stop
+	if _, dup := k.running[p.UID]; dup {
+		// Another goroutine already runs this incarnation (defense in
+		// depth against double dispatch); a second registration would
+		// shadow its stop channel and make it unkillable.
+		k.mu.Unlock()
+		return
+	}
+	k.running[p.UID] = stop
 	k.mu.Unlock()
-	if !c.registerPodStop(p.Name, stop) {
+	if !c.registerPodStop(p.UID, stop) {
 		return
 	}
 
 	now := c.cfg.Clock.Now()
 	updated := false
 	alive := c.store.UpdatePod(p.Name, func(sp *Pod) {
-		if sp.UID != p.UID {
-			return // a newer incarnation owns this name now
+		if sp.UID != p.UID || sp.Terminated() {
+			return // replaced by a newer incarnation, or killed mid-start
 		}
 		updated = true
 		sp.Status.Phase = PodRunning
 		sp.Status.StartedAt = now
 	})
 	if !alive || !updated {
-		// Pod deleted or replaced while starting.
-		k.forget(p.Name, stop)
-		c.unregisterPodStop2(p.Name, stop)
+		// Pod deleted, replaced or killed while starting.
+		k.forget(p.UID, stop)
+		c.unregisterPodStop(p.UID)
 		return
 	}
 	c.recordEvent(EventNormal, "Started", KindPod, p.Name, p.Spec.Type, "container started on "+k.node)
@@ -200,7 +221,7 @@ func (k *kubelet) runPod(p *Pod) {
 		<-stop.ch
 		exit = 137
 	}
-	k.forget(p.Name, stop)
+	k.forget(p.UID, stop)
 
 	select {
 	case <-stop.ch:
@@ -233,15 +254,14 @@ func (k *kubelet) runPod(p *Pod) {
 		sp.Status.ExitCode = exit
 		sp.Status.FinishedAt = finished
 	})
-	c.unregisterPodStop2(p.Name, stop)
+	c.unregisterPodStop(p.UID)
 }
 
-// forget removes this incarnation's stop entry; a pointer match keeps a
-// dying incarnation from deleting its same-named replacement's entry.
-func (k *kubelet) forget(podName string, stop *podStop) {
+// forget removes this incarnation's stop entry.
+func (k *kubelet) forget(uid uint64, stop *podStop) {
 	k.mu.Lock()
-	if k.running[podName] == stop {
-		delete(k.running, podName)
+	if k.running[uid] == stop {
+		delete(k.running, uid)
 	}
 	k.mu.Unlock()
 }

@@ -5,10 +5,14 @@ import (
 	"sort"
 
 	"github.com/ffdl/ffdl/internal/sched"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
-// schedulerLoop is the cluster scheduler: every interval it snapshots
-// cluster state and tries to bind unscheduled pods.
+// schedulerLoop is the cluster scheduler. It is event-driven: a watch on
+// the API-server store wakes it the moment a schedulable pod appears or
+// capacity changes, so placement latency is bounded by event propagation
+// rather than quantized by SchedulerInterval. The interval ticker remains
+// only as a slow resync safety net against missed/dropped events.
 //
 // Without a GangPolicy it behaves like the stock Kubernetes scheduler —
 // "it considers each of the learner pods individually" (§3.5) — binding
@@ -16,20 +20,62 @@ import (
 // temporarily deadlocked learners. With a GangPolicy, pods carrying gang
 // information are bound all-or-nothing.
 func (c *Cluster) schedulerLoop() {
+	events, cancel := c.store.Watch("")
+	defer cancel()
 	ticker := c.cfg.Clock.NewTicker(c.cfg.SchedulerInterval)
 	defer ticker.Stop()
+	// waiting is true while a previous pass left pods unplaced (or held
+	// back as an incomplete gang): only then do capacity-freeing events
+	// (pod termination/deletion, node changes) warrant a new pass.
+	waiting := true
 	for {
+		wake := false
 		select {
 		case <-c.stopCh:
 			return
+		case ev := <-events:
+			wake = schedulerRelevant(ev, waiting)
+			// Coalesce the burst: drain whatever is queued so one pass
+			// covers it all.
+			sim.Coalesce(events, func(ev WatchEvent) {
+				wake = wake || schedulerRelevant(ev, waiting)
+			})
 		case <-ticker.C:
-			c.scheduleOnce()
+			wake = true
+		}
+		if wake {
+			waiting = c.scheduleOnce()
 		}
 	}
 }
 
-// scheduleOnce runs one scheduling pass.
-func (c *Cluster) scheduleOnce() {
+// schedulerRelevant reports whether a store event can make a scheduling
+// pass productive. New pods always can; freed capacity (terminated or
+// deleted pods, node arrivals/changes) only matters when pods are
+// waiting for space.
+func schedulerRelevant(ev WatchEvent, waiting bool) bool {
+	switch ev.Kind {
+	case KindPod:
+		if ev.Type == WatchAdded {
+			return true
+		}
+		if ev.Type == WatchDeleted {
+			return waiting
+		}
+		if p, ok := ev.Object.(*Pod); ok && p.Terminated() {
+			return waiting
+		}
+		return false
+	case KindNode:
+		return waiting
+	default:
+		return false
+	}
+}
+
+// scheduleOnce runs one scheduling pass. It reports whether any pending
+// pod was left unplaced (so the event loop knows to watch for capacity).
+func (c *Cluster) scheduleOnce() bool {
 	pods := c.store.ListPods("")
 	var pending []*Pod
 	for _, p := range pods {
@@ -38,15 +84,21 @@ func (c *Cluster) scheduleOnce() {
 		}
 	}
 	if len(pending) == 0 {
-		return
+		return false
 	}
 	cs := c.Snapshot()
 
 	if c.cfg.GangPolicy != nil {
 		c.scheduleGangs(pending, cs)
-		return
+	} else {
+		c.schedulePodAtATime(pending, cs)
 	}
-	c.schedulePodAtATime(pending, cs)
+	for _, p := range pending {
+		if cur, ok := c.store.GetPod(p.Name); ok && cur.Status.Node == "" && !cur.Terminated() {
+			return true
+		}
+	}
+	return false
 }
 
 // schedulePodAtATime is the stock behaviour: bind each pod greedily, in

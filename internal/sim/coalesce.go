@@ -1,0 +1,21 @@
+package sim
+
+// Coalesce non-blockingly drains every value currently buffered in ch,
+// invoking fn (if non-nil) per value, and reports whether ch was
+// observed closed. Event-driven control loops use it to fold a burst of
+// wake-up events into a single level-triggered pass.
+func Coalesce[T any](ch <-chan T, fn func(T)) (closed bool) {
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return true
+			}
+			if fn != nil {
+				fn(v)
+			}
+		default:
+			return false
+		}
+	}
+}
