@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench-smoke ci
+.PHONY: all fmt vet build test bench-smoke sched-scale-smoke docs-check ci
 
 all: build
 
@@ -19,9 +19,32 @@ build:
 test:
 	$(GO) test ./...
 
-# Perf gate: one iteration of the Table 7 / Fig. 5 scale experiment so a
-# regression that breaks or grossly slows the benchmark path fails CI.
+# Perf gate: one iteration of the Table 7 / Fig. 5 scale experiment and
+# of the scheduler scale experiment, so a regression that breaks or
+# grossly slows either benchmark path fails CI.
 bench-smoke:
-	$(GO) test -run=xxx -bench=BenchmarkTable7Figure5ScaleTest -benchtime=1x .
+	$(GO) test -run=xxx -bench='BenchmarkTable7Figure5ScaleTest|BenchmarkSchedulerScale' -benchtime=1x .
 
-ci: fmt vet build test bench-smoke
+# Small-size scheduler scale sweep; emits the BENCH json artifact CI
+# uploads (bench-sched.json).
+sched-scale-smoke:
+	$(GO) run ./cmd/ffdl-bench -sched-scale -sched-nodes 200,400 -json bench-sched.json
+
+# Docs drift gate: README.md must mention every example, and
+# docs/architecture.md must cover every internal package.
+docs-check:
+	@test -f README.md || { echo "README.md missing"; exit 1; }
+	@test -f docs/architecture.md || { echo "docs/architecture.md missing"; exit 1; }
+	@ok=1; \
+	for d in examples/*/; do \
+		name=$$(basename $$d); \
+		grep -q "examples/$$name" README.md || { echo "README.md does not mention examples/$$name"; ok=0; }; \
+	done; \
+	for d in internal/*/; do \
+		pkg=$$(basename $$d); \
+		grep -q "internal/$$pkg" docs/architecture.md || { echo "docs/architecture.md does not cover internal/$$pkg"; ok=0; }; \
+	done; \
+	[ $$ok -eq 1 ] || exit 1
+	@echo "docs-check: README and architecture docs cover all examples and packages"
+
+ci: fmt vet build test bench-smoke docs-check

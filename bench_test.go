@@ -382,6 +382,27 @@ func BenchmarkAblationTieBreak(b *testing.B) {
 	})
 }
 
+// BenchmarkSchedulerScale drives the live orchestrator at a large
+// cluster size with mixed gang churn and reports the dirty-set
+// scheduler's headline metrics: nodes examined per pass (must stay
+// sublinear in cluster size — see expt.SchedulerScaleSweep for the
+// 1k-vs-5k comparison), scheduling passes per second, and placement
+// latency. This is the scheduler trajectory in the BENCH json.
+func BenchmarkSchedulerScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := expt.SchedulerScale(expt.SchedScaleConfig{
+			Nodes: 500, Gangs: 150, Seed: int64(i + 1),
+		})
+		if res.Placed != res.Pods {
+			b.Fatalf("placed %d of %d pods", res.Placed, res.Pods)
+		}
+		b.ReportMetric(res.NodesExaminedPerPass, "nodes-examined/pass")
+		b.ReportMetric(res.PassesPerSec, "passes/sec")
+		b.ReportMetric(res.MeanPlacementMs, "placement-mean-ms")
+		b.ReportMetric(res.P99PlacementMs, "placement-p99-ms")
+	}
+}
+
 // BenchmarkPlatformJobThroughput measures end-to-end platform capacity:
 // jobs submitted, trained and completed per second on a live platform
 // (the "thousands of concurrent deployment requests" claim, §3.7).

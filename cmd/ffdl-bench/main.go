@@ -1,5 +1,6 @@
 // Command ffdl-bench regenerates every table and figure from the
-// paper's evaluation (§5).
+// paper's evaluation (§5), plus the repo's own scheduler scale
+// experiment.
 //
 // Usage:
 //
@@ -7,12 +8,16 @@
 //	ffdl-bench -table 1            # Table 1 only
 //	ffdl-bench -fig 4 -runs 20     # Figure 4 with 20 runs per config
 //	ffdl-bench -fig 3 -days 60     # Figure 3 over a 60-day trace
+//	ffdl-bench -sched-scale -sched-nodes 1000,5000 -json bench.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/ffdl/ffdl/internal/expt"
 	"github.com/ffdl/ffdl/internal/trace"
@@ -20,16 +25,26 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		table  = flag.Int("table", 0, "regenerate one table (1-8)")
-		fig    = flag.Int("fig", 0, "regenerate one figure (3-8)")
-		days   = flag.Int("days", 30, "trace length for Figure 3 / failure analyses")
-		runs   = flag.Int("runs", 20, "runs per configuration for Figure 4")
-		trials = flag.Int("trials", 5, "crash trials per component for Table 3")
-		seed   = flag.Int64("seed", 1, "random seed")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		table      = flag.Int("table", 0, "regenerate one table (1-8)")
+		fig        = flag.Int("fig", 0, "regenerate one figure (3-8)")
+		days       = flag.Int("days", 30, "trace length for Figure 3 / failure analyses")
+		runs       = flag.Int("runs", 20, "runs per configuration for Figure 4")
+		trials     = flag.Int("trials", 5, "crash trials per component for Table 3")
+		seed       = flag.Int64("seed", 1, "random seed")
+		schedScale = flag.Bool("sched-scale", false, "run the scheduler scale experiment")
+		schedNodes = flag.String("sched-nodes", "1000,5000", "comma-separated cluster sizes for -sched-scale")
+		schedGangs = flag.Int("sched-gangs", 0, "gangs per -sched-scale run (0 = size/2 of the smallest cluster)")
+		jsonOut    = flag.String("json", "", "also write -sched-scale results as JSON to this file")
 	)
 	flag.Parse()
 
+	if *schedScale {
+		runSchedScale(*schedNodes, *schedGangs, *seed, *jsonOut)
+		if !*all && *table == 0 && *fig == 0 {
+			return
+		}
+	}
 	if !*all && *table == 0 && *fig == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -95,4 +110,46 @@ func main() {
 	if want("fig", 8) {
 		emit(expt.Figure8Render(150, *seed), nil)
 	}
+}
+
+// runSchedScale runs the scheduler scale sweep, prints the table, and
+// optionally writes the raw results as the BENCH json artifact.
+func runSchedScale(nodesCSV string, gangs int, seed int64, jsonPath string) {
+	var sizes []int
+	for _, f := range strings.Split(nodesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "ffdl-bench: bad -sched-nodes entry %q\n", f)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		fmt.Fprintln(os.Stderr, "ffdl-bench: -sched-nodes is empty")
+		os.Exit(2)
+	}
+	base := expt.SchedScaleConfig{Seed: seed, Gangs: gangs}
+	if gangs <= 0 {
+		// Hold the workload fixed across sizes — sized to the smallest
+		// cluster — so the sweep isolates cluster-size scaling.
+		smallest := sizes[0]
+		for _, n := range sizes[1:] {
+			smallest = min(smallest, n)
+		}
+		base.Gangs = smallest / 2
+	}
+	results := expt.SchedulerScaleSweep(sizes, base)
+	fmt.Println(expt.RenderSchedScale(results).String())
+	if jsonPath == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(map[string]any{"scheduler_scale": results}, "", "  ")
+	if err == nil {
+		err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: write %s: %v\n", jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 }

@@ -1,0 +1,42 @@
+package expt
+
+import "testing"
+
+// TestSchedulerScaleSublinear pins the acceptance criterion of the
+// dirty-set + capacity-index work: with an identical gang workload, a
+// 4x larger cluster must not cost meaningfully more scheduler work per
+// pass — nodes-examined-per-pass stays roughly flat (sublinear), every
+// pod still places, and the run is carried by events rather than
+// resync full scans.
+func TestSchedulerScaleSublinear(t *testing.T) {
+	base := SchedScaleConfig{Gangs: 60, Seed: 7}
+	results := SchedulerScaleSweep([]int{250, 1000}, base)
+	small, large := results[0], results[1]
+
+	for _, r := range results {
+		if r.Placed != r.Pods {
+			t.Fatalf("%d nodes: placed %d of %d pods", r.Nodes, r.Placed, r.Pods)
+		}
+		if r.Passes == 0 {
+			t.Fatalf("%d nodes: no scheduling passes recorded", r.Nodes)
+		}
+		// Boot counts one full scan and the resync ticker (2s) may add
+		// a few on a slow runner; the run must still be event-carried,
+		// not resync-carried, so bound full scans by elapsed wall time
+		// rather than a fixed constant.
+		allowed := uint64(2 + r.WallSeconds/2)
+		if r.FullScans > allowed {
+			t.Errorf("%d nodes: %d full scans in %.1fs — run leaned on the resync safety net",
+				r.Nodes, r.FullScans, r.WallSeconds)
+		}
+	}
+
+	ratio := large.NodesExaminedPerPass / small.NodesExaminedPerPass
+	if ratio > 2 {
+		t.Fatalf("nodes-examined-per-pass grew %.2fx for 4x nodes (%.0f -> %.0f); want sublinear (<2x)",
+			ratio, small.NodesExaminedPerPass, large.NodesExaminedPerPass)
+	}
+	t.Logf("4x nodes -> %.2fx examined/pass (%.0f -> %.0f), placement mean %.2fms -> %.2fms",
+		ratio, small.NodesExaminedPerPass, large.NodesExaminedPerPass,
+		small.MeanPlacementMs, large.MeanPlacementMs)
+}

@@ -3,6 +3,7 @@ package expt
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ffdl/ffdl/internal/core"
@@ -41,8 +42,13 @@ func Table3(trials int) ([]Table3Row, error) {
 	}
 	rng := sim.NewRNG(33)
 	// Paper-calibrated component start latencies (scaled down 1000x).
+	// StartDelay is called from concurrent kubelet pod-start goroutines
+	// and sim.RNG is not thread-safe, so draws are serialized.
+	var rngMu sync.Mutex
 	startDelay := func(podType string) time.Duration {
 		ms := func(lo, hi float64) time.Duration {
+			rngMu.Lock()
+			defer rngMu.Unlock()
 			return time.Duration(rng.Uniform(lo, hi) * float64(time.Second) / table3Scale)
 		}
 		switch podType {

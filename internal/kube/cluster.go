@@ -109,6 +109,10 @@ type Cluster struct {
 	// Fig. 7/8 analytics.
 	deletionsByNodeFailure int64
 	totalDeletions         int64
+
+	// schedStats is the scheduler loop's published work counters.
+	schedMu    sync.Mutex
+	schedStats SchedStats
 }
 
 // NewCluster boots an orchestrator with no nodes.
@@ -122,11 +126,19 @@ func NewCluster(cfg Config) *Cluster {
 		podStops: make(map[uint64]*podStop),
 		stopCh:   make(chan struct{}),
 	}
+	// Subscribe every control loop's watch before any loop goroutine
+	// starts: a store write made right after NewCluster returns is then
+	// guaranteed to reach all loops. (Without this, the scheduler's
+	// initial resync could bind a pod before the kubelet host loop had
+	// subscribed, and the bind event would be lost until its resync.)
+	schedEvents, schedCancel := c.store.Watch("")
+	ctrlEvents, ctrlCancel := c.store.Watch("")
+	kubeletEvents, kubeletCancel := c.store.Watch(KindPod)
 	c.loopWG.Add(4)
-	go func() { defer c.loopWG.Done(); c.schedulerLoop() }()
-	go func() { defer c.loopWG.Done(); c.controllerLoop() }()
+	go func() { defer c.loopWG.Done(); defer schedCancel(); c.schedulerLoop(schedEvents) }()
+	go func() { defer c.loopWG.Done(); defer ctrlCancel(); c.controllerLoop(ctrlEvents) }()
 	go func() { defer c.loopWG.Done(); c.nodeControllerLoop() }()
-	go func() { defer c.loopWG.Done(); c.kubeletStartLoop() }()
+	go func() { defer c.loopWG.Done(); defer kubeletCancel(); c.kubeletStartLoop(kubeletEvents) }()
 	return c
 }
 
@@ -221,6 +233,27 @@ func (c *Cluster) KillPod(name, reason string) bool {
 	return true
 }
 
+// bindPod commits a scheduling decision to the store. The UID guard
+// ensures the binding lands only on the intended incarnation and never
+// on a pod that terminated (or was replaced) while the pass ran; it
+// reports whether the pod was actually bound.
+func (c *Cluster) bindPod(name string, uid uint64, nodeName string) bool {
+	now := c.cfg.Clock.Now()
+	bound := false
+	c.store.UpdatePod(name, func(p *Pod) {
+		if p.UID != uid || p.Terminated() || p.Status.Node != "" {
+			return
+		}
+		p.Status.Node = nodeName
+		p.Status.ScheduledAt = now
+		bound = true
+	})
+	if bound {
+		c.recordEvent(EventNormal, "Scheduled", KindPod, name, "", "bound to "+nodeName)
+	}
+	return bound
+}
+
 // DeletePod removes a pod object entirely, stopping its process first.
 func (c *Cluster) DeletePod(name, reason string) {
 	pod, exists := c.store.GetPod(name)
@@ -277,6 +310,22 @@ func (c *Cluster) Snapshot() *sched.ClusterState {
 		})
 	}
 	return sched.NewClusterState(out)
+}
+
+// SchedStats returns a snapshot of the scheduler's work counters —
+// passes, full-cluster scans, nodes examined, events filtered. The
+// scale experiments read it to verify that scheduling cost tracks what
+// changed rather than cluster size.
+func (c *Cluster) SchedStats() SchedStats {
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	return c.schedStats
+}
+
+func (c *Cluster) publishSchedStats(s *SchedStats) {
+	c.schedMu.Lock()
+	c.schedStats = *s
+	c.schedMu.Unlock()
 }
 
 // GPUUtilization returns (allocated, capacity) GPUs — the metric FfDL

@@ -13,9 +13,7 @@ import (
 // actual pods toward the declared state. This is what restarts crashed
 // learners (stateful sets), helper pods (deployments) and Guardians
 // (jobs) automatically — the recovery machinery Table 3 measures.
-func (c *Cluster) controllerLoop() {
-	events, cancel := c.store.Watch("")
-	defer cancel()
+func (c *Cluster) controllerLoop(events <-chan WatchEvent) {
 	ticker := c.cfg.Clock.NewTicker(c.cfg.ResyncInterval)
 	defer ticker.Stop()
 	for {

@@ -107,9 +107,7 @@ func (k *kubelet) stop() {
 // kubeletStartLoop (on the cluster) watches for pods that are bound but
 // not yet started and hands them to their node's kubelet. A single loop
 // keeps goroutine count low at cluster sizes of hundreds of nodes.
-func (c *Cluster) kubeletStartLoop() {
-	events, cancel := c.store.Watch(KindPod)
-	defer cancel()
+func (c *Cluster) kubeletStartLoop(events <-chan WatchEvent) {
 	ticker := c.cfg.Clock.NewTicker(c.cfg.ResyncInterval)
 	defer ticker.Stop()
 	// started maps pod name -> UID of the incarnation already handed to

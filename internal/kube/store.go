@@ -79,13 +79,15 @@ func (s *Store) Put(kind, name string, obj any) {
 		m = make(map[string]any)
 		s.objects[kind] = m
 	}
-	_, existed := m[name]
+	old, existed := m[name]
 	m[name] = cloneObject(obj)
 	evType := WatchAdded
+	var prev any
 	if existed {
 		evType = WatchModified
+		prev = cloneObject(old)
 	}
-	s.notifyLocked(WatchEvent{Type: evType, Kind: kind, Name: name, Object: cloneObject(obj)})
+	s.notifyLocked(WatchEvent{Type: evType, Kind: kind, Name: name, Object: cloneObject(obj), Prev: prev})
 	s.mu.Unlock()
 }
 
@@ -105,11 +107,12 @@ func (s *Store) Delete(kind, name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.objects[kind]
-	if _, ok := m[name]; !ok {
+	old, ok := m[name]
+	if !ok {
 		return false
 	}
 	delete(m, name)
-	s.notifyLocked(WatchEvent{Type: WatchDeleted, Kind: kind, Name: name})
+	s.notifyLocked(WatchEvent{Type: WatchDeleted, Kind: kind, Name: name, Prev: cloneObject(old)})
 	return true
 }
 
@@ -248,8 +251,9 @@ func (s *Store) UpdatePod(name string, fn func(*Pod)) bool {
 		return false
 	}
 	p := obj.(*Pod)
+	prev := p.Clone()
 	fn(p)
-	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindPod, Name: name, Object: p.Clone()})
+	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindPod, Name: name, Object: p.Clone(), Prev: prev})
 	s.mu.Unlock()
 	return true
 }
@@ -263,8 +267,9 @@ func (s *Store) UpdateNode(name string, fn func(*Node)) bool {
 		return false
 	}
 	n := obj.(*Node)
+	prev := n.Clone()
 	fn(n)
-	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindNode, Name: name, Object: n.Clone()})
+	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindNode, Name: name, Object: n.Clone(), Prev: prev})
 	s.mu.Unlock()
 	return true
 }
@@ -278,8 +283,9 @@ func (s *Store) UpdateJob(name string, fn func(*Job)) bool {
 		return false
 	}
 	j := obj.(*Job)
+	prev := j.Clone()
 	fn(j)
-	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindJob, Name: name, Object: j.Clone()})
+	s.notifyLocked(WatchEvent{Type: WatchModified, Kind: KindJob, Name: name, Object: j.Clone(), Prev: prev})
 	s.mu.Unlock()
 	return true
 }

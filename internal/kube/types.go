@@ -247,4 +247,10 @@ type WatchEvent struct {
 	// Object is a deep copy of the object after the change (nil for
 	// deletes).
 	Object any
+	// Prev is a deep copy of the object before the change (nil for
+	// adds). Consumers that maintain incremental views — the
+	// scheduler's dirty-set above all — diff Prev against Object to
+	// apply exactly the delta an event represents, instead of
+	// re-listing the store.
+	Prev any
 }

@@ -23,6 +23,14 @@ type BSA struct {
 	// Theta sharpens the bias distribution: weight ∝ exp(Theta·score).
 	// Theta = 0 degenerates to uniform sampling over feasible nodes.
 	Theta float64
+	// CandidateCap, when > 0, bounds the nodes each sampling step
+	// draws from to the CandidateCap fullest feasible nodes per GPU
+	// type (the capacity index walks fullest-first). Since the bias
+	// already concentrates weight on near-full machines, capping the
+	// long empty tail barely changes the sampled distribution but
+	// keeps per-placement work constant as the cluster grows. 0 means
+	// consider every feasible node.
+	CandidateCap int
 	// RNG drives sampling; required.
 	RNG *sim.RNG
 }
@@ -51,12 +59,12 @@ func (b *BSA) PlaceGang(g *Gang, cs *ClusterState) ([]Assignment, *Failure) {
 	)
 	order := podOrder(g)
 	for s := 0; s < samples; s++ {
-		as, score, fail := b.sampleOnce(g, order, cs)
+		as, fail := b.sampleOnce(g, order, cs)
 		if fail != nil {
 			lastFail = fail
 			continue
 		}
-		if score > bestScore {
+		if score := b.objective(g, as, cs); score > bestScore {
 			best, bestScore = as, score
 		}
 	}
@@ -71,16 +79,20 @@ func (b *BSA) PlaceGang(g *Gang, cs *ClusterState) ([]Assignment, *Failure) {
 }
 
 // sampleOnce draws one assignment vector: pods (largest first) sample
-// nodes proportionally to exp(Theta * packScore) over currently feasible
-// nodes of a scratch state.
-func (b *BSA) sampleOnce(g *Gang, order []int, cs *ClusterState) ([]Assignment, float64, *Failure) {
-	scratch := cs.Clone()
+// nodes proportionally to exp(Theta * packScore) over currently
+// feasible nodes. The speculative assignments run under a checkpoint
+// that is rolled back before returning, so the caller scores the
+// vector against the untouched pre-sample state — and a 5000-node
+// cluster is never cloned 32 times per gang.
+func (b *BSA) sampleOnce(g *Gang, order []int, cs *ClusterState) ([]Assignment, *Failure) {
+	mark := cs.Checkpoint()
+	defer cs.Rollback(mark)
 	out := make([]Assignment, 0, len(g.Pods))
 	for _, i := range order {
 		p := &g.Pods[i]
-		nodes, reason := scratch.FeasibleNodes(p)
+		nodes, reason := cs.Candidates(p, b.CandidateCap)
 		if len(nodes) == 0 {
-			return nil, 0, &Failure{
+			return nil, &Failure{
 				Reason:  reason,
 				Message: fmt.Sprintf("gang %s pod %s: no feasible node", g.JobID, p.Name),
 			}
@@ -90,10 +102,10 @@ func (b *BSA) sampleOnce(g *Gang, order []int, cs *ClusterState) ([]Assignment, 
 			weights[j] = math.Exp(b.Theta * packScore(n))
 		}
 		chosen := nodes[b.RNG.WeightedChoice(weights)]
-		scratch.Assign(chosen.Name, p.Demand)
+		cs.Assign(chosen.Name, p.Demand)
 		out = append(out, Assignment{Pod: p.Name, Node: chosen.Name})
 	}
-	return out, b.objective(g, out, cs), nil
+	return out, nil
 }
 
 // objective scores a complete assignment: fewer distinct nodes is better

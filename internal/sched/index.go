@@ -1,0 +1,86 @@
+package sched
+
+import "sort"
+
+// typeIndex is the per-GPU-type half of the capacity index: every
+// schedulable node of one accelerator type, kept sorted in pack
+// preference order (packOrderLess). Placement queries walk a
+// binary-searched suffix of this slice instead of scanning the whole
+// cluster, so the nodes a pass examines scale with the feasible
+// candidate set, not with cluster size.
+//
+// Because the ordering IS Pack's total preference, the first feasible
+// node in the suffix is the pack-optimal choice — no scoring sweep, no
+// pruning heuristics, O(infeasible-prefix + 1) examinations.
+type typeIndex struct {
+	ordered []*Node
+}
+
+// packOrderLess is both the index ordering and Pack's total preference
+// over nodes: fewest free GPUs first (best-fit on the scarce
+// resource), then highest allocated-GPU fraction (most-allocated, the
+// Kubernetes MostAllocated priority the paper's Pack policy enables),
+// then highest allocated-CPU fraction, then name for determinism. On
+// the homogeneous-capacity fleets of the paper's deployment this picks
+// the same node the original weighted packScore did.
+func packOrderLess(a, b *Node) bool {
+	if a.Free.GPUs != b.Free.GPUs {
+		return a.Free.GPUs < b.Free.GPUs
+	}
+	if ga, gb := gpuAllocFrac(a), gpuAllocFrac(b); ga != gb {
+		return ga > gb
+	}
+	if ca, cb := cpuAllocFrac(a), cpuAllocFrac(b); ca != cb {
+		return ca > cb
+	}
+	return a.Name < b.Name
+}
+
+func gpuAllocFrac(n *Node) float64 {
+	if n.Capacity.GPUs == 0 {
+		return 0
+	}
+	return 1 - float64(n.Free.GPUs)/float64(n.Capacity.GPUs)
+}
+
+func cpuAllocFrac(n *Node) float64 {
+	if n.Capacity.MilliCPU == 0 {
+		return 0
+	}
+	return 1 - float64(n.Free.MilliCPU)/float64(n.Capacity.MilliCPU)
+}
+
+// slot returns the insertion position for n under packOrderLess.
+func (ti *typeIndex) slot(n *Node) int {
+	return sort.Search(len(ti.ordered), func(i int) bool {
+		return !packOrderLess(ti.ordered[i], n)
+	})
+}
+
+// insert adds a node at its sorted position. The node's key fields
+// (Free, Capacity, Name) must already hold their final values.
+func (ti *typeIndex) insert(n *Node) {
+	i := ti.slot(n)
+	ti.ordered = append(ti.ordered, nil)
+	copy(ti.ordered[i+1:], ti.ordered[i:])
+	ti.ordered[i] = n
+}
+
+// remove deletes a node. It must be called BEFORE any of the node's
+// key fields are mutated, so the binary search still lands on it.
+func (ti *typeIndex) remove(n *Node) {
+	i := ti.slot(n)
+	// Names are unique, so the slot either holds n or n is absent.
+	if i < len(ti.ordered) && ti.ordered[i] == n {
+		ti.ordered = append(ti.ordered[:i], ti.ordered[i+1:]...)
+	}
+}
+
+// lowerBound returns the first index whose node has at least minFree
+// free GPUs; everything from there on is GPU-feasible for a demand of
+// minFree (free GPU count is the ordering's primary key).
+func (ti *typeIndex) lowerBound(minFree int) int {
+	return sort.Search(len(ti.ordered), func(i int) bool {
+		return ti.ordered[i].Free.GPUs >= minFree
+	})
+}

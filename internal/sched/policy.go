@@ -21,7 +21,9 @@ type GangPolicy interface {
 	// Name identifies the policy.
 	Name() string
 	// PlaceGang assigns every pod of the gang or fails without side
-	// effects. Implementations must not mutate cs.
+	// effects. Implementations may speculate on cs via
+	// Checkpoint/Rollback but must leave it unchanged on return; the
+	// caller applies the returned assignments.
 	PlaceGang(g *Gang, cs *ClusterState) ([]Assignment, *Failure)
 }
 
@@ -73,23 +75,21 @@ var _ PodPolicy = Pack{}
 // Name implements PodPolicy.
 func (Pack) Name() string { return "pack" }
 
-// PlacePod implements PodPolicy.
+// PlacePod implements PodPolicy. It queries the capacity index, whose
+// per-type ordering is exactly Pack's preference (packOrderLess), so
+// on a large cluster it examines only the handful of fullest
+// candidates rather than every machine.
 func (Pack) PlacePod(p *PodSpec, cs *ClusterState) (string, *Failure) {
-	nodes, reason := cs.FeasibleNodes(p)
-	if len(nodes) == 0 {
+	best, reason := cs.BestPacked(p)
+	if best == nil {
 		return "", &Failure{Reason: reason, Message: fmt.Sprintf("pod %s: 0/%d nodes feasible", p.Name, len(cs.Nodes))}
-	}
-	best := nodes[0]
-	bestScore := packScore(best)
-	for _, n := range nodes[1:] {
-		if s := packScore(n); s > bestScore || (s == bestScore && n.Name < best.Name) {
-			best, bestScore = n, s
-		}
 	}
 	return best.Name, nil
 }
 
-// packScore is higher for fuller nodes (MostAllocated).
+// packScore is higher for fuller nodes (MostAllocated). It survives as
+// BSA's scalar bias weight; the Pack policy itself selects via the
+// packOrderLess preference the capacity index is sorted by.
 func packScore(n *Node) float64 {
 	score := 0.0
 	if n.Capacity.GPUs > 0 {
@@ -115,21 +115,25 @@ var _ GangPolicy = GreedyGang{}
 // Name implements GangPolicy.
 func (g GreedyGang) Name() string { return "gang-greedy-" + g.Pod.Name() }
 
-// PlaceGang implements GangPolicy.
+// PlaceGang implements GangPolicy. The speculative placement runs
+// under a ClusterState checkpoint (rolled back before returning) rather
+// than on a full clone, so a failed attempt on a large cluster costs
+// only the assignments it tried.
 func (g GreedyGang) PlaceGang(gang *Gang, cs *ClusterState) ([]Assignment, *Failure) {
-	scratch := cs.Clone()
+	mark := cs.Checkpoint()
+	defer cs.Rollback(mark)
 	// Place large pods first: best-fit-decreasing reduces failure on
 	// tight clusters.
 	order := podOrder(gang)
 	out := make([]Assignment, 0, len(gang.Pods))
 	for _, i := range order {
 		p := &gang.Pods[i]
-		nodeName, fail := g.Pod.PlacePod(p, scratch)
+		nodeName, fail := g.Pod.PlacePod(p, cs)
 		if fail != nil {
 			fail.Message = fmt.Sprintf("gang %s: %s", gang.JobID, fail.Message)
 			return nil, fail
 		}
-		scratch.Assign(nodeName, p.Demand)
+		cs.Assign(nodeName, p.Demand)
 		out = append(out, Assignment{Pod: p.Name, Node: nodeName})
 	}
 	sortAssignments(gang, out)
