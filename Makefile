@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench-smoke sched-scale-smoke docs-check ci
+.PHONY: all fmt vet build test bench-smoke sched-scale-smoke watch-churn-smoke docs-check ci
 
 all: build
 
@@ -30,11 +30,20 @@ bench-smoke:
 sched-scale-smoke:
 	$(GO) run ./cmd/ffdl-bench -sched-scale -sched-nodes 200,400 -json bench-sched.json
 
+# Small watch-churn run (resyncs per snapshot restore, persisted event
+# log vs ablation); emits the BENCH json artifact CI uploads
+# (bench-watch.json).
+watch-churn-smoke:
+	$(GO) run ./cmd/ffdl-bench -watch-churn -churn-jobs 200 -churn-cycles 2 -json bench-watch.json
+
 # Docs drift gate: README.md must mention every example, and
-# docs/architecture.md must cover every internal package.
+# docs/architecture.md must cover every internal package, and the watch
+# protocol spec must exist, cover all four watch layers, and be linked
+# from the architecture doc and the README.
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }
 	@test -f docs/architecture.md || { echo "docs/architecture.md missing"; exit 1; }
+	@test -f docs/watch-protocol.md || { echo "docs/watch-protocol.md missing"; exit 1; }
 	@ok=1; \
 	for d in examples/*/; do \
 		name=$$(basename $$d); \
@@ -44,7 +53,12 @@ docs-check:
 		pkg=$$(basename $$d); \
 		grep -q "internal/$$pkg" docs/architecture.md || { echo "docs/architecture.md does not cover internal/$$pkg"; ok=0; }; \
 	done; \
+	for anchor in WatchStream "Store.Watch" "status bus" WatchStatus CompactRevisions TakeDropped "change feed" EventResync; do \
+		grep -q "$$anchor" docs/watch-protocol.md || { echo "docs/watch-protocol.md does not cover '$$anchor'"; ok=0; }; \
+	done; \
+	grep -q "watch-protocol.md" docs/architecture.md || { echo "docs/architecture.md does not link watch-protocol.md"; ok=0; }; \
+	grep -q "watch-protocol.md" README.md || { echo "README.md does not link watch-protocol.md"; ok=0; }; \
 	[ $$ok -eq 1 ] || exit 1
-	@echo "docs-check: README and architecture docs cover all examples and packages"
+	@echo "docs-check: README, architecture and watch-protocol docs are complete and linked"
 
 ci: fmt vet build test bench-smoke docs-check

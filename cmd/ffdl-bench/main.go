@@ -9,6 +9,7 @@
 //	ffdl-bench -fig 4 -runs 20     # Figure 4 with 20 runs per config
 //	ffdl-bench -fig 3 -days 60     # Figure 3 over a 60-day trace
 //	ffdl-bench -sched-scale -sched-nodes 1000,5000 -json bench.json
+//	ffdl-bench -watch-churn -churn-jobs 1000 -json bench-watch.json
 package main
 
 import (
@@ -35,17 +36,29 @@ func main() {
 		schedScale = flag.Bool("sched-scale", false, "run the scheduler scale experiment")
 		schedNodes = flag.String("sched-nodes", "1000,5000", "comma-separated cluster sizes for -sched-scale")
 		schedGangs = flag.Int("sched-gangs", 0, "gangs per -sched-scale run (0 = size/2 of the smallest cluster)")
-		jsonOut    = flag.String("json", "", "also write -sched-scale results as JSON to this file")
+		watchChurn = flag.Bool("watch-churn", false, "run the watch-churn experiment (resyncs per snapshot restore, persisted log vs ablation)")
+		churnJobs  = flag.Int("churn-jobs", 1000, "watched job prefixes for -watch-churn")
+		churnCycle = flag.Int("churn-cycles", 3, "chaos cycles for -watch-churn")
+		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn results as JSON to this file")
 	)
 	flag.Parse()
 
+	// Experiments accumulate into one JSON payload so running several
+	// with a shared -json path keeps every result.
+	payload := map[string]any{}
 	if *schedScale {
-		runSchedScale(*schedNodes, *schedGangs, *seed, *jsonOut)
-		if !*all && *table == 0 && *fig == 0 {
-			return
-		}
+		payload["scheduler_scale"] = runSchedScale(*schedNodes, *schedGangs, *seed)
+	}
+	if *watchChurn {
+		payload["watch_churn"] = runWatchChurn(*churnJobs, *churnCycle, *seed)
+	}
+	if len(payload) > 0 {
+		writeJSON(*jsonOut, payload)
 	}
 	if !*all && *table == 0 && *fig == 0 {
+		if len(payload) > 0 {
+			return
+		}
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -113,8 +126,8 @@ func main() {
 }
 
 // runSchedScale runs the scheduler scale sweep, prints the table, and
-// optionally writes the raw results as the BENCH json artifact.
-func runSchedScale(nodesCSV string, gangs int, seed int64, jsonPath string) {
+// returns the raw results for the BENCH json artifact.
+func runSchedScale(nodesCSV string, gangs int, seed int64) []expt.SchedScaleResult {
 	var sizes []int
 	for _, f := range strings.Split(nodesCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -140,10 +153,31 @@ func runSchedScale(nodesCSV string, gangs int, seed int64, jsonPath string) {
 	}
 	results := expt.SchedulerScaleSweep(sizes, base)
 	fmt.Println(expt.RenderSchedScale(results).String())
+	return results
+}
+
+// runWatchChurn runs the before/after watch-churn pair (persisted event
+// log vs the ring-buffer-only ablation), prints the table, and returns
+// the raw results for the BENCH json artifact.
+func runWatchChurn(jobs, cycles int, seed int64) []expt.WatchChurnResult {
+	with, without, err := expt.WatchChurnCompare(expt.WatchChurnConfig{
+		Jobs: jobs, Cycles: cycles, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: watch-churn: %v\n", err)
+		os.Exit(1)
+	}
+	results := []expt.WatchChurnResult{with, without}
+	fmt.Println(expt.RenderWatchChurn(results).String())
+	return results
+}
+
+// writeJSON writes a result payload to jsonPath ("" = skip).
+func writeJSON(jsonPath string, payload map[string]any) {
 	if jsonPath == "" {
 		return
 	}
-	buf, err := json.MarshalIndent(map[string]any{"scheduler_scale": results}, "", "  ")
+	buf, err := json.MarshalIndent(payload, "", "  ")
 	if err == nil {
 		err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
 	}

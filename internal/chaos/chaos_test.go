@@ -1,9 +1,11 @@
 package chaos
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"github.com/ffdl/ffdl/internal/etcd"
 	"github.com/ffdl/ffdl/internal/kube"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
@@ -29,6 +31,46 @@ func testCluster(t *testing.T) *kube.Cluster {
 }
 
 func nodeName(i int) string { return string(rune('a'+i)) + "-node" }
+
+// TestEtcdInjectorOutageForcesSnapshotRestoreAndFailover exercises the
+// coordination-layer injector: an outage with enough churn makes the
+// victim rejoin via snapshot, and ForceLeader lands leadership on it.
+func TestEtcdInjectorOutageForcesSnapshotRestoreAndFailover(t *testing.T) {
+	c, err := etcd.NewCluster(etcd.Options{
+		Replicas: 3, Seed: 11, SnapshotThreshold: 16, TickInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	in := NewEtcdInjector(c)
+	write := func(n int) func() {
+		return func() {
+			for i := 0; i < n; i++ {
+				if _, err := c.Put(fmt.Sprintf("k%03d", i), []byte("v"), 0); err != nil {
+					t.Errorf("churn put: %v", err)
+				}
+			}
+		}
+	}
+	victim, restored := in.OutageCycle(write(80))
+	if victim < 0 {
+		t.Fatal("no leader to pick a victim around")
+	}
+	if !restored {
+		t.Fatal("outage churn past the snapshot threshold did not force a restore")
+	}
+	if !in.ForceLeader(victim, write(1)) {
+		t.Fatalf("leadership never landed on the restored replica %d", victim)
+	}
+	if l := c.Leader(); l != victim {
+		t.Fatalf("leader = %d, want restored replica %d", l, victim)
+	}
+	outages, failovers, restores := in.Stats()
+	if outages != 1 || restores < 1 || failovers < 1 {
+		t.Fatalf("stats = %d outages / %d failovers / %d restores", outages, failovers, restores)
+	}
+}
 
 func TestNodeCrashLoopInjectsAndRecovers(t *testing.T) {
 	c := testCluster(t)

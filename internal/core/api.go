@@ -485,9 +485,13 @@ const watchRetryDelay = 5 * time.Millisecond
 // WatchStatus streams a job's status transitions, in order and without
 // duplicates, starting from the beginning of its history. The returned
 // channel closes after the terminal transition is delivered (or when
-// ctx/cancel fires). The stream transparently reconnects across API
-// replica crashes, resuming from the last delivered transition, so
-// every transition is observed exactly once end-to-end.
+// ctx/cancel fires); closure without a terminal entry means
+// cancellation, never completion. The stream transparently reconnects
+// across API replica crashes, resuming from the last delivered
+// transition, so every transition is observed exactly once end-to-end —
+// including transitions committed by other API replicas or processes,
+// which reach every replica's status bus through the MongoDB change
+// feed. This is the layer-4 contract of docs/watch-protocol.md.
 func (c *Client) WatchStatus(ctx context.Context, jobID string) (<-chan StatusEntry, func(), error) {
 	// Synchronous existence check so callers get an immediate error for
 	// unknown jobs rather than a silently empty stream.

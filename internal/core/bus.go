@@ -1,12 +1,17 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/ffdl/ffdl/internal/mongo"
+)
 
 // StatusEvent is one job status transition published on the platform's
 // status bus. Seq is the 1-based index of the transition in the job's
-// MongoDB history, so subscribers can detect and refill gaps from the
-// durable record — the bus is a latency optimization, MongoDB remains
-// the source of truth (§3.2).
+// MongoDB history — the stream's resume token — so subscribers can
+// detect and refill gaps from the durable record: the bus is a latency
+// optimization, MongoDB remains the source of truth (§3.2).
+// See docs/watch-protocol.md ("core status bus" layer).
 type StatusEvent struct {
 	JobID  string
 	Seq    int
@@ -19,10 +24,24 @@ type StatusEvent struct {
 // MongoDB) and the API replicas' WatchStatus streams. Delivery is
 // best-effort with bounded buffers — a slow subscriber loses events and
 // recovers from MongoDB via Seq gaps or a resync tick.
+//
+// The bus has two feeders: the direct path (setJobStatus publishes
+// right after its MongoDB write) and the change-feed path (the
+// platform tails the jobs collection's mongo change stream and
+// republishes transitions it carries — the multi-replica fallback that
+// delivers transitions committed by other API processes). Per-job Seq
+// dedup below makes the two paths composable: whichever arrives first
+// wins, the echo is dropped, and per-job order is preserved.
 type statusBus struct {
 	mu    sync.Mutex
 	subs  map[int]*busSub
 	nextS int
+	// lastSeq is the highest Seq published per in-flight job, the
+	// dedup cursor between the direct and change-feed paths. Entries
+	// are removed at the terminal transition to bound the map; a late
+	// duplicate terminal may therefore be republished, which
+	// subscribers absorb by their own Seq cursors.
+	lastSeq map[string]int
 }
 
 type busSub struct {
@@ -31,7 +50,7 @@ type busSub struct {
 }
 
 func newStatusBus() *statusBus {
-	return &statusBus{subs: make(map[int]*busSub)}
+	return &statusBus{subs: make(map[int]*busSub), lastSeq: make(map[string]int)}
 }
 
 // Subscribe registers for transitions of one job (or all jobs when
@@ -53,10 +72,20 @@ func (b *statusBus) Subscribe(jobID string, buf int) (<-chan StatusEvent, func()
 	}
 }
 
-// Publish delivers ev to matching subscribers without blocking.
+// Publish delivers ev to matching subscribers without blocking. Events
+// at or below the job's published cursor are dropped, so the direct and
+// change-feed paths never duplicate or reorder a job's transitions.
 func (b *statusBus) Publish(ev StatusEvent) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if ev.Seq <= b.lastSeq[ev.JobID] {
+		return // already published by the other feeder
+	}
+	if ev.Status.Terminal() {
+		delete(b.lastSeq, ev.JobID)
+	} else {
+		b.lastSeq[ev.JobID] = ev.Seq
+	}
 	for _, s := range b.subs {
 		if s.jobID != "" && s.jobID != ev.JobID {
 			continue
@@ -64,6 +93,42 @@ func (b *statusBus) Publish(ev StatusEvent) {
 		select {
 		case s.ch <- ev:
 		default: // slow subscriber: it refills from MongoDB
+		}
+	}
+}
+
+// statusFeedLoop tails the jobs collection's change stream and
+// republishes each carried status transition on the bus. This is the
+// bus's multi-replica fallback: a transition committed by another API
+// process — whose in-process Publish this one cannot observe — still
+// reaches local subscribers through the durable feed, so
+// Client.WatchStatus keeps its exactly-once, in-order, seq-resumable
+// contract when the API layer runs multi-replica. Locally-published
+// transitions come back as echoes and are dropped by the bus's Seq
+// dedup. Feed lag or drops are harmless for the same reason every bus
+// gap is: subscribers refill from MongoDB by Seq.
+func (p *Platform) statusFeedLoop(cs *mongo.ChangeStream) {
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case ev, ok := <-cs.Events():
+			if !ok {
+				return
+			}
+			if ev.Doc == nil {
+				continue // deletes carry no transition
+			}
+			rec := docToRecord(ev.Doc)
+			if rec.ID == "" || len(rec.History) == 0 {
+				continue
+			}
+			p.bus.Publish(StatusEvent{
+				JobID:  rec.ID,
+				Seq:    len(rec.History),
+				Status: rec.Status,
+				Entry:  rec.History[len(rec.History)-1],
+			})
 		}
 	}
 }

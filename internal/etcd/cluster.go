@@ -30,10 +30,22 @@ type Options struct {
 	// ProposalTimeout bounds how long a client call waits for commit.
 	// Defaults to 5s.
 	ProposalTimeout time.Duration
-	// WatchHistory is how many recent events each replica retains for
-	// watch resume-from-revision; a watcher resuming past the retained
-	// window gets a resync instead of a replay. Defaults to 1024.
+	// WatchHistory is the hard cap on retained watch events per replica
+	// — the memory bound on the event log. A watcher resuming past the
+	// retained window (see CompactRevisions) gets an EventResync instead
+	// of a replay; it never sees a silent gap. Defaults to 1024.
+	// See docs/watch-protocol.md ("etcd WatchStream" layer).
 	WatchHistory int
+	// CompactRevisions is the revision-based retention window for the
+	// watch event log: events older than the last CompactRevisions
+	// revisions are compacted away even while the WatchHistory entry cap
+	// has room, and the retained log is persisted inside Raft snapshots
+	// so Watch(fromRevision) replays across snapshot restore and leader
+	// failover without forcing a resync. Defaults to 4096. A negative
+	// value disables snapshot persistence of the log (retention falls
+	// back to the in-memory ring buffer only, the pre-durability
+	// behaviour kept for the watch-churn ablation).
+	CompactRevisions int
 }
 
 func (o *Options) defaults() {
@@ -57,6 +69,9 @@ func (o *Options) defaults() {
 	}
 	if o.WatchHistory <= 0 {
 		o.WatchHistory = 1024
+	}
+	if o.CompactRevisions == 0 {
+		o.CompactRevisions = 4096
 	}
 }
 
@@ -98,7 +113,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 	rng := sim.NewRNG(opts.Seed)
 	for i := 0; i < opts.Replicas; i++ {
-		st := newStoreState(opts.Clock.Now, opts.WatchHistory)
+		st := newStoreState(opts.Clock.Now, opts.WatchHistory, opts.CompactRevisions, opts.CompactRevisions >= 0)
 		cfg := Config{
 			ID: i, Peers: peers,
 			SnapshotThreshold: opts.SnapshotThreshold,
@@ -388,6 +403,17 @@ func (c *Cluster) CutLink(a, b int, on bool) { c.transport.CutLink(a, b, on) }
 
 // Leader returns the current leader id, or -1.
 func (c *Cluster) Leader() int { return c.leaderIndex() }
+
+// SnapshotRestores returns the total number of snapshot restores applied
+// across all replicas — the denominator of the watch-churn experiment's
+// resyncs-per-restore metric.
+func (c *Cluster) SnapshotRestores() uint64 {
+	var n uint64
+	for _, st := range c.states {
+		n += st.restoreCount()
+	}
+	return n
+}
 
 // Replicas returns the cluster size.
 func (c *Cluster) Replicas() int { return len(c.nodes) }

@@ -495,6 +495,149 @@ func TestLaggingFollowerCatchesUpViaSnapshot(t *testing.T) {
 	t.Fatal("follower did not catch up via snapshot")
 }
 
+// TestSnapshotRestorePreservesWatchHistory pins the durable-history half
+// of the watch contract at the state-machine level: a replica rebuilt
+// from a snapshot adopts the snapshot's compacted event log, so a
+// watcher resuming from an old revision gets a replay, not a resync.
+// The persistence-off arm restores the old clear-on-restore behaviour
+// (the CompactRevisions<0 ablation the watch-churn experiment measures).
+func TestSnapshotRestorePreservesWatchHistory(t *testing.T) {
+	for _, persist := range []bool{true, false} {
+		src := newStoreState(time.Now, 1024, 4096, persist)
+		var req uint64
+		for i := 0; i < 10; i++ {
+			req++
+			src.apply(&command{Op: opPut, Key: fmt.Sprintf("jobs/j/l%d", i), Value: []byte("S"), ReqID: req})
+		}
+		dst := newStoreState(time.Now, 1024, 4096, persist)
+		dst.restore(src.snapshot())
+		if got := dst.restoreCount(); got != 1 {
+			t.Fatalf("restoreCount = %d, want 1", got)
+		}
+		if dst.revision() != src.revision() {
+			t.Fatalf("restored revision = %d, want %d", dst.revision(), src.revision())
+		}
+		_, backlog, cancel := dst.addWatcherFrom("jobs/j/", true, 1, 64)
+		if persist {
+			if len(backlog) != 10 {
+				t.Fatalf("persisted replay backlog = %d events, want 10", len(backlog))
+			}
+			for i, ev := range backlog {
+				if ev.Type != EventPut || ev.Revision != uint64(i+1) {
+					t.Fatalf("backlog[%d] = %+v, want PUT at revision %d", i, ev, i+1)
+				}
+			}
+		} else if len(backlog) == 0 || backlog[0].Type != EventResync {
+			t.Fatalf("ablation backlog = %+v, want a leading RESYNC", backlog)
+		}
+		cancel()
+	}
+}
+
+// TestCompactRevisionsWindowTrimsHistory: retention is revision-window
+// based — events older than the CompactRevisions window are compacted
+// even while the WatchHistory entry cap still has room.
+func TestCompactRevisionsWindowTrimsHistory(t *testing.T) {
+	st := newStoreState(time.Now, 1024, 8, true)
+	var req uint64
+	for i := 0; i < 20; i++ {
+		req++
+		st.apply(&command{Op: opPut, Key: "k", Value: []byte{byte(i)}, ReqID: req})
+	}
+	st.mu.Lock()
+	n, floor := len(st.hist), st.hist[0].Revision
+	st.mu.Unlock()
+	if n != 8 {
+		t.Fatalf("retained %d events, want the 8-revision window", n)
+	}
+	if floor != 13 {
+		t.Fatalf("retained floor revision = %d, want 13 (rev 20 - window 8 + 1)", floor)
+	}
+}
+
+// TestWatchReplaysAgainstSnapshotRestoredLeader is the acceptance pin
+// for durable watch history: a replica that rejoined via InstallSnapshot
+// is forced to become leader (the replica watches attach to), and a
+// watcher resuming from the beginning of history replays every event in
+// revision order with no EventResync.
+func TestWatchReplaysAgainstSnapshotRestoredLeader(t *testing.T) {
+	c := newTestCluster(t, Options{Replicas: 3, SnapshotThreshold: 32})
+	leader := c.Leader()
+	follower := (leader + 1) % 3
+	c.Isolate(follower, true)
+	var wantRevs []uint64
+	for i := 0; i < 120; i++ {
+		rev, err := c.Put(fmt.Sprintf("jobs/j/l%d", i%10), []byte("S"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRevs = append(wantRevs, rev)
+	}
+	c.Isolate(follower, false)
+	// The healed follower is too far behind the compacted log, so it
+	// must catch up via a snapshot — which now carries the event log.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.states[follower].restoreCount() < 1 ||
+		c.states[follower].revision() < wantRevs[len(wantRevs)-1] {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never restored from snapshot (restores=%d rev=%d)",
+				c.states[follower].restoreCount(), c.states[follower].revision())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.SnapshotRestores() < 1 {
+		t.Fatal("SnapshotRestores did not count the install")
+	}
+	// Bounce leadership until the restored replica leads. The write made
+	// while the old leader is cut keeps its log stale so it cannot
+	// immediately win the term back.
+	deadline = time.Now().Add(15 * time.Second)
+	for c.Leader() != follower {
+		if time.Now().After(deadline) {
+			t.Fatal("restored replica never became leader")
+		}
+		cur := c.Leader()
+		if cur < 0 || cur == follower {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		c.Isolate(cur, true)
+		if _, err := c.Put("bounce", []byte("x"), 0); err != nil {
+			t.Fatalf("bounce write: %v", err)
+		}
+		c.Isolate(cur, false)
+	}
+	ws, err := c.Watch("jobs/j/", true, wantRevs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Cancel()
+	var got []uint64
+	timeout := time.After(10 * time.Second)
+	for len(got) < len(wantRevs) {
+		select {
+		case ev, ok := <-ws.Events():
+			if !ok {
+				t.Fatalf("stream closed after %d/%d events", len(got), len(wantRevs))
+			}
+			if ev.Type == EventResync {
+				t.Fatal("resume against restored replica forced a resync; persisted-log replay expected")
+			}
+			got = append(got, ev.Revision)
+		case <-timeout:
+			t.Fatalf("replayed %d/%d events", len(got), len(wantRevs))
+		}
+	}
+	for i, rev := range got {
+		if rev != wantRevs[i] {
+			t.Fatalf("event %d revision = %d, want %d", i, rev, wantRevs[i])
+		}
+	}
+	if ws.Resyncs() != 0 {
+		t.Fatalf("stream counted %d resyncs, want 0", ws.Resyncs())
+	}
+}
+
 func TestSingleNodeCluster(t *testing.T) {
 	c := newTestCluster(t, Options{Replicas: 1})
 	if _, err := c.Put("solo", []byte("1"), 0); err != nil {

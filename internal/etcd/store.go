@@ -115,12 +115,20 @@ type storeState struct {
 	now        func() time.Time
 	appliedReq map[uint64]result
 
-	// hist retains the most recent histCap events so a resuming watcher
-	// can replay from a revision instead of re-listing. Trimmed at
-	// revision boundaries; a resume older than the retained floor gets a
-	// resync instead.
-	hist    []Event
-	histCap int
+	// hist retains recent events so a resuming watcher can replay from a
+	// revision instead of re-listing. Retention is revision-window-based
+	// (compactRevs) with histCap as the hard entry-count bound; trims
+	// happen at revision boundaries. A resume older than the retained
+	// floor gets a resync instead. When persistHist is set the retained
+	// log rides along in Raft snapshots, so replay survives snapshot
+	// restore and leader failover.
+	hist        []Event
+	histCap     int
+	compactRevs int
+	persistHist bool
+	// restores counts snapshot restores applied to this replica, for the
+	// watch-churn experiment's resyncs-per-restore metric.
+	restores uint64
 }
 
 // watcher receives events for a key or prefix.
@@ -136,14 +144,16 @@ type watcher struct {
 	overflowed bool
 }
 
-func newStoreState(now func() time.Time, histCap int) *storeState {
+func newStoreState(now func() time.Time, histCap, compactRevs int, persistHist bool) *storeState {
 	return &storeState{
-		kv:         make(map[string]KV),
-		leases:     make(map[int64]*leaseRec),
-		watchers:   make(map[int]*watcher),
-		now:        now,
-		appliedReq: make(map[uint64]result),
-		histCap:    histCap,
+		kv:          make(map[string]KV),
+		leases:      make(map[int64]*leaseRec),
+		watchers:    make(map[int]*watcher),
+		now:         now,
+		appliedReq:  make(map[uint64]result),
+		histCap:     histCap,
+		compactRevs: compactRevs,
+		persistHist: persistHist,
 	}
 }
 
@@ -309,24 +319,39 @@ func (w *watcher) matches(key string) bool {
 	return key == w.key
 }
 
-// appendHistLocked records an event, trimming old history at revision
-// boundaries so replay never starts mid-revision.
+// appendHistLocked records an event and compacts the log: events older
+// than the CompactRevisions window are dropped, and the WatchHistory
+// entry cap bounds memory. Trims happen at revision boundaries so
+// replay never starts mid-revision.
 func (s *storeState) appendHistLocked(ev Event) {
 	if s.histCap <= 0 {
 		return
 	}
 	s.hist = append(s.hist, ev)
-	if len(s.hist) <= s.histCap {
-		return
+	s.compactHistLocked()
+}
+
+// compactHistLocked trims the event log to the revision window and the
+// entry cap. Both cuts land on revision boundaries (multi-key deletes
+// emit several events at one revision; splitting them would corrupt a
+// replay).
+func (s *storeState) compactHistLocked() {
+	cut := 0
+	if s.compactRevs > 0 && s.rev > uint64(s.compactRevs) {
+		floor := s.rev - uint64(s.compactRevs)
+		for cut < len(s.hist) && s.hist[cut].Revision <= floor {
+			cut++
+		}
 	}
-	cut := len(s.hist) - s.histCap
-	// Advance the cut past any events sharing the revision of the last
-	// dropped event (multi-key deletes emit several events at one
-	// revision; splitting them would corrupt a replay).
-	for cut < len(s.hist) && s.hist[cut].Revision == s.hist[cut-1].Revision {
-		cut++
+	if over := len(s.hist) - cut - s.histCap; over > 0 {
+		cut += over
+		for cut < len(s.hist) && s.hist[cut].Revision == s.hist[cut-1].Revision {
+			cut++
+		}
 	}
-	s.hist = append([]Event(nil), s.hist[cut:]...)
+	if cut > 0 {
+		s.hist = append([]Event(nil), s.hist[cut:]...)
+	}
 }
 
 // overflowOf reports and clears a watcher's overflow flag.
@@ -452,6 +477,11 @@ func (s *storeState) snapshot() []byte {
 		snap.Applied = append(snap.Applied, id)
 	}
 	sort.Slice(snap.Applied, func(i, j int) bool { return snap.Applied[i] < snap.Applied[j] })
+	if s.persistHist {
+		// The compacted event log rides along so a replica rebuilt from
+		// this snapshot can still replay watches from old revisions.
+		snap.Hist = append([]Event(nil), s.hist...)
+	}
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
 		panic(fmt.Sprintf("etcd: snapshot encode: %v", err)) // cannot fail for these types
 	}
@@ -483,9 +513,20 @@ func (s *storeState) restore(data []byte) {
 	for _, id := range snap.Applied {
 		s.appliedReq[id] = result{}
 	}
-	// A snapshot carries no event history: any watcher resuming against
-	// this replica below the snapshot revision must resync.
-	s.hist = nil
+	// Adopt the snapshot's persisted event log: a watcher resuming
+	// against this freshly-restored replica replays from its revision
+	// instead of resyncing. Without persistence (CompactRevisions < 0)
+	// the log is cleared and such a resume forces a resync.
+	s.hist = append([]Event(nil), snap.Hist...)
+	s.compactHistLocked()
+	s.restores++
+}
+
+// restoreCount returns how many snapshot restores this replica applied.
+func (s *storeState) restoreCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restores
 }
 
 type storeSnapshot struct {
@@ -494,6 +535,9 @@ type storeSnapshot struct {
 	NextLease int64
 	Leases    []leaseSnapshot
 	Applied   []uint64
+	// Hist is the compacted watch event log (empty when history
+	// persistence is disabled).
+	Hist []Event
 }
 
 type leaseSnapshot struct {

@@ -15,6 +15,10 @@ import (
 //   - The stream survives leader changes and replica crashes: it tracks
 //     the last delivered revision and re-attaches to a live replica,
 //     replaying the gap from the replica's retained event history.
+//   - Replay works across snapshot restore: each replica's retained
+//     event log (Options.CompactRevisions window, Options.WatchHistory
+//     cap) is persisted inside Raft snapshots, so a stream re-attaching
+//     to a freshly-restored replica still replays rather than resyncs.
 //   - Buffers are bounded. If the consumer falls so far behind that the
 //     gap cannot be replayed (history compacted), the stream delivers an
 //     EventResync marker followed by the current state under the watched
@@ -23,6 +27,9 @@ import (
 //     current state; anyone tracking deletions must re-list on resync.
 //   - The channel closes when the stream is cancelled or the cluster
 //     stops.
+//
+// The normative statement of this contract — and how it composes with
+// the kube store watch and the status bus — is docs/watch-protocol.md.
 type WatchStream struct {
 	c      *Cluster
 	key    string
@@ -32,6 +39,7 @@ type WatchStream struct {
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	lastRev  atomic.Uint64
+	resyncs  atomic.Uint64
 }
 
 // attachment is one live registration of a stream on a replica.
@@ -52,6 +60,11 @@ func (ws *WatchStream) Cancel() { ws.stopOnce.Do(func() { close(ws.stopCh) }) }
 // LastRevision returns the revision of the last delivered event, for
 // callers that persist their own resume cursor.
 func (ws *WatchStream) LastRevision() uint64 { return ws.lastRev.Load() }
+
+// Resyncs returns how many EventResync markers this stream has
+// delivered — i.e. how often its consumer lost replayability and had to
+// converge from synthesized current state.
+func (ws *WatchStream) Resyncs() uint64 { return ws.resyncs.Load() }
 
 // Watch streams events for key (prefix=false) or every key under it
 // (prefix=true), starting at fromRevision (0 = events after the watch is
@@ -198,6 +211,9 @@ func (ws *WatchStream) sourceStuck(src int, cur, last uint64) bool {
 func (ws *WatchStream) deliver(ev Event, fromRev *uint64) bool {
 	select {
 	case ws.ch <- ev:
+		if ev.Type == EventResync {
+			ws.resyncs.Add(1)
+		}
 		if ev.Revision >= *fromRev {
 			*fromRev = ev.Revision + 1
 		}

@@ -131,14 +131,14 @@ func NewCluster(cfg Config) *Cluster {
 	// guaranteed to reach all loops. (Without this, the scheduler's
 	// initial resync could bind a pod before the kubelet host loop had
 	// subscribed, and the bind event would be lost until its resync.)
-	schedEvents, schedCancel := c.store.Watch("")
-	ctrlEvents, ctrlCancel := c.store.Watch("")
-	kubeletEvents, kubeletCancel := c.store.Watch(KindPod)
+	schedWatch := c.store.Watch("")
+	ctrlWatch := c.store.Watch("")
+	kubeletWatch := c.store.Watch(KindPod)
 	c.loopWG.Add(4)
-	go func() { defer c.loopWG.Done(); defer schedCancel(); c.schedulerLoop(schedEvents) }()
-	go func() { defer c.loopWG.Done(); defer ctrlCancel(); c.controllerLoop(ctrlEvents) }()
+	go func() { defer c.loopWG.Done(); defer schedWatch.Cancel(); c.schedulerLoop(schedWatch) }()
+	go func() { defer c.loopWG.Done(); defer ctrlWatch.Cancel(); c.controllerLoop(ctrlWatch.Events()) }()
 	go func() { defer c.loopWG.Done(); c.nodeControllerLoop() }()
-	go func() { defer c.loopWG.Done(); defer kubeletCancel(); c.kubeletStartLoop(kubeletEvents) }()
+	go func() { defer c.loopWG.Done(); defer kubeletWatch.Cancel(); c.kubeletStartLoop(kubeletWatch.Events()) }()
 	return c
 }
 

@@ -454,8 +454,9 @@ func TestGPUUtilizationAccounting(t *testing.T) {
 
 func TestStoreWatchDeliversTypedEvents(t *testing.T) {
 	s := NewStore()
-	ch, cancel := s.Watch(KindPod)
-	defer cancel()
+	w := s.Watch(KindPod)
+	defer w.Cancel()
+	ch := w.Events()
 	s.PutPod(&Pod{Name: "x"})
 	ev := <-ch
 	if ev.Type != WatchAdded || ev.Name != "x" {

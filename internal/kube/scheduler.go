@@ -30,6 +30,25 @@ type SchedStats struct {
 	// (heartbeat-only node updates above all).
 	EventsSeen    uint64
 	EventsIgnored uint64
+	// EventsDropped is the cumulative count of store watch events the
+	// scheduler's watcher dropped under backpressure, harvested from
+	// the store at each resync. A nonzero harvest is the only thing
+	// that makes the resync tick rebuild the view.
+	EventsDropped uint64
+	// ResyncsSkipped counts resync ticks that found zero dropped events
+	// and therefore skipped the full-store rebuild, running only the
+	// cheap revision audit. On a healthy cluster every tick lands here.
+	ResyncsSkipped uint64
+	// AuditsClean counts skipped resyncs whose revision audit proved
+	// the incremental view current (last folded event revision ==
+	// store revision, nothing in flight).
+	AuditsClean uint64
+	// SpreadFullScans counts placement queries answered by the Spread
+	// policy. Spread examines every feasible candidate: its score mixes
+	// CPU and GPU equally, so the pack-ordered capacity index cannot
+	// prune for it. The counter makes that cost visible at scale; see
+	// the Spread godoc in internal/sched and docs/architecture.md.
+	SpreadFullScans uint64
 }
 
 // schedulerLoop is the cluster scheduler. It is event-driven and
@@ -49,34 +68,39 @@ type SchedStats struct {
 // discarded at the event filter, so on a large cluster an idle or
 // fully-waiting scheduler does zero work per heartbeat.
 //
-// The SchedulerInterval ticker survives as the slow resync safety net:
-// the store watch drops events for slow consumers, so each tick
-// rebuilds the view from a full listing (counted in
-// SchedStats.FullScans) to bound any drift.
+// The SchedulerInterval ticker survives as the slow resync safety net,
+// but it is conditional: only dropped watch events can make the
+// incremental view drift, so a tick first harvests the watcher's
+// dropped-events counter (StoreWatch.TakeDropped) and rebuilds from a
+// full listing (SchedStats.FullScans) only when it is nonzero. A tick
+// with zero drops is reduced to a cheap revision audit — compare the
+// last folded event revision against Store.Revision() — and counted in
+// SchedStats.ResyncsSkipped. On a healthy cluster the safety net
+// therefore costs O(1) per tick, not O(cluster).
 //
 // Without a GangPolicy the pass behaves like the stock Kubernetes
 // scheduler — "it considers each of the learner pods individually"
 // (§3.5) — binding whatever fits, which is what produces partial
 // placements and temporarily deadlocked learners. With a GangPolicy,
 // pods carrying gang information are bound all-or-nothing.
-func (c *Cluster) schedulerLoop(events <-chan WatchEvent) {
+func (c *Cluster) schedulerLoop(watch *StoreWatch) {
 	ticker := c.cfg.Clock.NewTicker(c.cfg.SchedulerInterval)
 	defer ticker.Stop()
-	s := &schedCore{c: c}
+	s := &schedCore{c: c, watch: watch}
 	s.resync()
 	c.publishSchedStats(&s.stats)
 	for {
 		select {
 		case <-c.stopCh:
 			return
-		case ev := <-events:
+		case ev := <-watch.Events():
 			s.observe(ev)
 			// Coalesce the burst: drain whatever is queued so one pass
 			// covers it all.
-			sim.Coalesce(events, s.observe)
+			sim.Coalesce(watch.Events(), s.observe)
 			s.maybePass()
 		case <-ticker.C:
-			s.resync()
+			s.resyncTick()
 		}
 		c.publishSchedStats(&s.stats)
 	}
@@ -97,7 +121,13 @@ type assignInfo struct {
 // the dirty-set bookkeeping. It is confined to the scheduler goroutine.
 type schedCore struct {
 	c     *Cluster
+	watch *StoreWatch
 	state *sched.ClusterState
+
+	// lastRev is the highest store revision folded into the view, the
+	// cursor the conditional resync's audit compares against
+	// Store.Revision().
+	lastRev uint64
 
 	// pending holds unbound, non-terminated pods by name.
 	pending map[string]*Pod
@@ -124,6 +154,9 @@ type schedCore struct {
 // observe folds one store event into the view.
 func (s *schedCore) observe(ev WatchEvent) {
 	s.stats.EventsSeen++
+	if ev.Rev > s.lastRev {
+		s.lastRev = ev.Rev
+	}
 	switch ev.Kind {
 	case KindPod:
 		s.observePod(ev)
@@ -330,12 +363,44 @@ func (s *schedCore) runPass() {
 	s.stats.NodesExamined += s.state.TakeExamined()
 }
 
+// resyncTick is the conditional safety net: it rebuilds the view only
+// when the watcher actually dropped events; otherwise it audits the
+// incremental view's currency by revision and does no per-node work.
+func (s *schedCore) resyncTick() {
+	// Fold whatever is already queued first, so drops are judged against
+	// a drained channel and the audit compares like with like.
+	sim.Coalesce(s.watch.Events(), s.observe)
+	if s.watch.Dropped() > 0 {
+		s.resync()
+		return
+	}
+	s.stats.ResyncsSkipped++
+	// Audit: with zero drops the view is exactly the fold of delivered
+	// events. A store revision ahead of the cursor only means events are
+	// still in flight — they will arrive; nothing was lost.
+	if s.c.store.Revision() == s.lastRev {
+		s.stats.AuditsClean++
+	}
+	// The drain above may have consumed wake-worthy events (a select
+	// race can route them to the tick instead of the event case), so
+	// the skip path must still evaluate them — skipping the rebuild
+	// must never skip scheduling.
+	s.maybePass()
+}
+
 // resync rebuilds the whole view from a store listing — the safety net
 // against watch events dropped under backpressure — and runs a full
 // pass if anything is pending.
 func (s *schedCore) resync() {
 	s.stats.FullScans++
+	// Harvest-and-clear the dropped counter before listing: the rebuild
+	// subsumes those gaps, while a drop landing mid-rebuild stays
+	// counted for the next tick.
+	s.stats.EventsDropped += s.watch.TakeDropped()
 	c := s.c
+	// Conservative currency cursor: the listing below reflects at least
+	// every mutation up to this revision.
+	s.lastRev = c.store.Revision()
 	state := sched.NewClusterState(nil)
 	for _, n := range c.store.ListNodes() {
 		state.AddNode(&sched.Node{
@@ -374,8 +439,14 @@ func (s *schedCore) resync() {
 // scheduling is non deterministic", §5.3).
 func (s *schedCore) schedulePodAtATime(pending []*Pod) {
 	c := s.c
+	_, isSpread := c.cfg.PodPolicy.(sched.Spread)
 	c.cfg.RNG.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
 	for _, p := range pending {
+		if isSpread {
+			// Spread cannot use the capacity index's pruning (see its
+			// godoc); account its full-candidate scans explicitly.
+			s.stats.SpreadFullScans++
+		}
 		spec := toSchedPod(p)
 		nodeName, fail := c.cfg.PodPolicy.PlacePod(spec, s.state)
 		if fail != nil {

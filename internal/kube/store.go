@@ -37,6 +37,11 @@ type Store struct {
 	nextW    int
 	nextUID  uint64
 	events   []Event
+	// rev counts store mutations; every WatchEvent carries the revision
+	// of the mutation it reports, so a consumer that folds events into
+	// an incremental view can audit "am I current?" by comparing its
+	// last folded revision against Revision().
+	rev uint64
 }
 
 type storeWatcher struct {
@@ -44,6 +49,10 @@ type storeWatcher struct {
 	kind   string // "" = all kinds
 	ch     chan WatchEvent
 	closed bool
+	// dropped counts events discarded because this watcher's buffer was
+	// full — the signal that its consumer's incremental view may have
+	// drifted and needs a resync rebuild. Read via StoreWatch.
+	dropped uint64
 }
 
 // Object kinds.
@@ -135,31 +144,78 @@ func (s *Store) List(kind, prefix string) []any {
 	return out
 }
 
-// Watch subscribes to changes of one kind ("" = all). Cancel releases
-// the watcher.
-func (s *Store) Watch(kind string) (<-chan WatchEvent, func()) {
+// StoreWatch is one subscription to the store's event stream. Delivery
+// is best-effort per watcher: an event that cannot be buffered is
+// dropped and counted (Dropped), never blocked on — which is why every
+// consumer pairs its watch with a level-triggered resync safety net.
+// See docs/watch-protocol.md ("kube store watch" layer).
+type StoreWatch struct {
+	s *Store
+	w *storeWatcher
+}
+
+// Events returns the subscription's delivery channel.
+func (sw *StoreWatch) Events() <-chan WatchEvent { return sw.w.ch }
+
+// Dropped returns the number of events discarded for this watcher since
+// the last TakeDropped. Nonzero means the consumer's incremental view
+// may have silently drifted and must be rebuilt from a full listing.
+func (sw *StoreWatch) Dropped() uint64 {
+	sw.s.mu.RLock()
+	defer sw.s.mu.RUnlock()
+	return sw.w.dropped
+}
+
+// TakeDropped returns the dropped-events count and clears it; consumers
+// call it at the start of a resync rebuild (the rebuild subsumes the
+// counted gaps, while drops that land mid-rebuild stay counted for the
+// next tick).
+func (sw *StoreWatch) TakeDropped() uint64 {
+	sw.s.mu.Lock()
+	defer sw.s.mu.Unlock()
+	d := sw.w.dropped
+	sw.w.dropped = 0
+	return d
+}
+
+// Cancel releases the watcher and closes its channel.
+func (sw *StoreWatch) Cancel() {
+	s := sw.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, x := range s.watchers {
+		if x.id == sw.w.id {
+			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+			if !x.closed {
+				x.closed = true
+				close(x.ch)
+			}
+			return
+		}
+	}
+}
+
+// Watch subscribes to changes of one kind ("" = all).
+func (s *Store) Watch(kind string) *StoreWatch {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextW++
 	w := &storeWatcher{id: s.nextW, kind: kind, ch: make(chan WatchEvent, 512)}
 	s.watchers = append(s.watchers, w)
-	return w.ch, func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		for i, x := range s.watchers {
-			if x.id == w.id {
-				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
-				if !x.closed {
-					x.closed = true
-					close(x.ch)
-				}
-				return
-			}
-		}
-	}
+	return &StoreWatch{s: s, w: w}
+}
+
+// Revision returns the store's mutation counter (the revision carried
+// by the latest WatchEvent).
+func (s *Store) Revision() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rev
 }
 
 func (s *Store) notifyLocked(ev WatchEvent) {
+	s.rev++
+	ev.Rev = s.rev
 	for _, w := range s.watchers {
 		if w.closed || (w.kind != "" && w.kind != ev.Kind) {
 			continue
@@ -167,7 +223,9 @@ func (s *Store) notifyLocked(ev WatchEvent) {
 		select {
 		case w.ch <- ev:
 		default:
-			// Drop for slow watchers; controllers resync periodically.
+			// Slow watcher: drop the event and count the gap so the
+			// consumer's next resync tick knows its view drifted.
+			w.dropped++
 		}
 	}
 }

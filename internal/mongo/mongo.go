@@ -599,19 +599,21 @@ type op struct {
 	ID   string
 }
 
-// DB is a database: named collections plus an oplog for replication.
+// DB is a database: named collections plus an oplog that feeds both
+// secondary replication and change streams (Watch).
 type DB struct {
-	mu     sync.Mutex
-	colls  map[string]*Collection
-	oplog  []op
-	opSeq  uint64
-	subs   []chan op
-	closed bool
+	mu      sync.Mutex
+	colls   map[string]*Collection
+	oplog   []op
+	opSeq   uint64
+	subs    map[int]chan op
+	nextSub int
+	closed  bool
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{colls: make(map[string]*Collection)}
+	return &DB{colls: make(map[string]*Collection), subs: make(map[int]chan op)}
 }
 
 // C returns (creating if needed) the named collection.
@@ -648,6 +650,9 @@ func (db *DB) logOp(o op) {
 		select {
 		case ch <- o:
 		default:
+			// Slow subscriber: drop. Secondaries and change-stream
+			// consumers detect the Seq gap and recover from the
+			// collections, which remain the source of truth.
 		}
 	}
 }
@@ -659,11 +664,139 @@ func (db *DB) OplogLen() uint64 {
 	return db.opSeq
 }
 
+// addSub registers an oplog subscriber and returns its id plus the
+// retained backlog with Seq > fromSeq (held-lock snapshot, so backlog
+// and live feed are contiguous).
+func (db *DB) addSub(ch chan op, fromSeq uint64) (int, []op) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextSub++
+	db.subs[db.nextSub] = ch
+	var backlog []op
+	for _, o := range db.oplog {
+		if o.Seq > fromSeq {
+			backlog = append(backlog, o)
+		}
+	}
+	return db.nextSub, backlog
+}
+
+func (db *DB) removeSub(id int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.subs, id)
+}
+
+// ChangeEvent is one committed write delivered by a ChangeStream.
+type ChangeEvent struct {
+	// Seq is the oplog sequence number — the stream's resume token.
+	// Strictly increasing within a stream; a jump of more than one
+	// reveals that intermediate writes were missed (stream lag or a
+	// resume past the retained oplog) and the consumer should re-read
+	// the collection, which remains the source of truth.
+	Seq  uint64
+	Kind string // "insert", "update" or "delete"
+	Coll string
+	// Doc is the full post-image for inserts and updates (nil for
+	// deletes). It is a private copy; the consumer may retain it.
+	Doc Doc
+	// ID is the _id of the affected document.
+	ID string
+}
+
+// ChangeStream tails one collection's committed writes in oplog order —
+// the equivalent of a MongoDB change stream. Events carry strictly
+// increasing Seq tokens; delivery is at-least-resumable, never silently
+// reordered: a consumer that sees a Seq gap (oplog trimmed past its
+// resume point, or lag drops) refills from the collection itself.
+// See docs/watch-protocol.md ("core status bus" layer) for how the
+// platform uses it to span API replicas.
+type ChangeStream struct {
+	db   *DB
+	id   int
+	ch   chan ChangeEvent
+	stop chan struct{}
+	once sync.Once
+}
+
+// Events returns the stream's delivery channel; it closes on Cancel.
+func (cs *ChangeStream) Events() <-chan ChangeEvent { return cs.ch }
+
+// Cancel detaches the stream and closes its channel.
+func (cs *ChangeStream) Cancel() {
+	cs.once.Do(func() {
+		cs.db.removeSub(cs.id)
+		close(cs.stop)
+	})
+}
+
+// Watch opens a change stream over one collection ("" = all), starting
+// after oplog sequence fromSeq (0 = from the beginning of the retained
+// oplog). If fromSeq predates the retained oplog the stream begins at
+// the retained floor; the consumer observes the Seq jump and recovers
+// by re-reading the collection.
+func (db *DB) Watch(coll string, fromSeq uint64) *ChangeStream {
+	live := make(chan op, 1024)
+	id, backlog := db.addSub(live, fromSeq)
+	cs := &ChangeStream{
+		db:   db,
+		id:   id,
+		ch:   make(chan ChangeEvent, 256),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(cs.ch)
+		last := fromSeq
+		deliver := func(o op) bool {
+			// Skip duplicates across the backlog/live seam and other
+			// collections' writes.
+			if o.Seq <= last {
+				return true
+			}
+			last = o.Seq
+			if coll != "" && o.Coll != coll {
+				return true
+			}
+			ev := ChangeEvent{Seq: o.Seq, Kind: o.Kind, Coll: o.Coll, ID: o.ID}
+			if o.Doc != nil {
+				ev.Doc = o.Doc.Clone()
+				if ev.ID == "" {
+					ev.ID, _ = o.Doc["_id"].(string)
+				}
+			}
+			select {
+			case cs.ch <- ev:
+				return true
+			case <-cs.stop:
+				return false
+			}
+		}
+		for _, o := range backlog {
+			if !deliver(o) {
+				return
+			}
+		}
+		for {
+			select {
+			case <-cs.stop:
+				return
+			case o := <-live:
+				if !deliver(o) {
+					return
+				}
+			}
+		}
+	}()
+	return cs
+}
+
 // Secondary is a read-only replica fed by the primary's oplog, used by
 // availability tests: when the primary "crashes", reads continue from a
 // secondary (the paper replicates MongoDB for high availability, §3.2).
 type Secondary struct {
 	db      *DB
+	src     *DB
+	subID   int
 	applied uint64
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -673,13 +806,9 @@ type Secondary struct {
 // StartSecondary attaches a replica and begins streaming ops into it.
 func (db *DB) StartSecondary() *Secondary {
 	ch := make(chan op, 1024)
-	db.mu.Lock()
-	db.subs = append(db.subs, ch)
-	backlog := make([]op, len(db.oplog))
-	copy(backlog, db.oplog)
-	db.mu.Unlock()
+	id, backlog := db.addSub(ch, 0)
 
-	s := &Secondary{db: NewDB(), stop: make(chan struct{}), done: make(chan struct{})}
+	s := &Secondary{db: NewDB(), src: db, subID: id, stop: make(chan struct{}), done: make(chan struct{})}
 	for _, o := range backlog {
 		s.applyOp(o)
 	}
@@ -732,6 +861,7 @@ func (s *Secondary) Applied() uint64 {
 
 // Stop detaches the replica.
 func (s *Secondary) Stop() {
+	s.src.removeSub(s.subID)
 	close(s.stop)
 	<-s.done
 }

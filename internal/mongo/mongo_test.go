@@ -300,6 +300,93 @@ func TestSecondaryReplication(t *testing.T) {
 	}
 }
 
+// TestChangeStreamDeliversInOplogOrder pins the change-feed contract:
+// backlog then live writes of the watched collection arrive with
+// strictly increasing Seq, full post-images for inserts/updates, and
+// other collections filtered out.
+func TestChangeStreamDeliversInOplogOrder(t *testing.T) {
+	db := NewDB()
+	jobs := db.C("jobs")
+	if _, err := jobs.Insert(Doc{"_id": "j1", "status": "PENDING"}); err != nil {
+		t.Fatal(err)
+	}
+	cs := db.Watch("jobs", 0)
+	defer cs.Cancel()
+	if _, err := db.C("other").Insert(Doc{"_id": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.UpdateOne(Filter{"_id": "j1"}, Update{Set: Doc{"status": "DEPLOYING"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.DeleteOne(Filter{"_id": "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind   string
+		status string
+	}{
+		{"insert", "PENDING"}, // backlog
+		{"update", "DEPLOYING"},
+		{"delete", ""},
+	}
+	var lastSeq uint64
+	for i, w := range want {
+		select {
+		case ev := <-cs.Events():
+			if ev.Kind != w.kind || ev.Coll != "jobs" || ev.ID != "j1" {
+				t.Fatalf("event %d = %+v, want %s on jobs/j1", i, ev, w.kind)
+			}
+			if ev.Seq <= lastSeq {
+				t.Fatalf("event %d Seq %d not increasing past %d", i, ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			if w.status != "" {
+				if got, _ := ev.Doc["status"].(string); got != w.status {
+					t.Fatalf("event %d post-image status = %q, want %q", i, got, w.status)
+				}
+			} else if ev.Doc != nil {
+				t.Fatalf("delete event carried a document: %+v", ev)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("change stream stalled before event %d", i)
+		}
+	}
+	// The "other" collection's write must have been filtered, reflected
+	// in a Seq jump the consumer can observe.
+	if lastSeq != db.OplogLen() {
+		t.Fatalf("lastSeq = %d, want oplog head %d", lastSeq, db.OplogLen())
+	}
+}
+
+// TestChangeStreamResumesFromSeq: a stream opened at a prior resume
+// token replays only the ops after it.
+func TestChangeStreamResumesFromSeq(t *testing.T) {
+	db := NewDB()
+	jobs := db.C("jobs")
+	if _, err := jobs.Insert(Doc{"_id": "a"}); err != nil {
+		t.Fatal(err)
+	}
+	mark := db.OplogLen()
+	if _, err := jobs.Insert(Doc{"_id": "b"}); err != nil {
+		t.Fatal(err)
+	}
+	cs := db.Watch("jobs", mark)
+	defer cs.Cancel()
+	select {
+	case ev := <-cs.Events():
+		if ev.ID != "b" || ev.Seq != mark+1 {
+			t.Fatalf("resumed event = %+v, want insert of b at seq %d", ev, mark+1)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("resumed stream delivered nothing")
+	}
+	select {
+	case ev := <-cs.Events():
+		t.Fatalf("resumed stream replayed pre-token op: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	db := NewDB()
 	c := db.C("jobs")

@@ -30,6 +30,14 @@ type GangPolicy interface {
 // Spread is the Kubernetes default placement: filter feasible nodes,
 // prefer the least-allocated one (which spreads replicas across the
 // cluster). The paper shows it fragments GPU clusters (§3.4, Fig. 3).
+//
+// Known scale limitation: Spread examines every feasible candidate on
+// each placement. Its score mixes CPU and GPU fractions equally, so the
+// capacity index's pack-preference order cannot prune the scan the way
+// it does for Pack. That is fine for the baseline policy at paper scale;
+// at thousands of nodes its per-placement cost is O(feasible nodes),
+// made visible by kube's SchedStats.SpreadFullScans counter so a future
+// change can justify (or skip) a spread-ordered index.
 type Spread struct{}
 
 var _ PodPolicy = Spread{}
