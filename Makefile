@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench-smoke sched-scale-smoke watch-churn-smoke docs-check ci
+.PHONY: all fmt vet build test race bench-smoke sched-scale-smoke watch-churn-smoke tenant-smoke docs-check ci
 
 all: build
 
@@ -19,6 +19,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Race gate for the concurrency-heavy admission path: the tenant
+# dispatcher and the scheduler/admission package it drives.
+race:
+	$(GO) vet ./internal/tenant/... ./internal/sched/...
+	$(GO) test -race ./internal/tenant/... ./internal/sched/...
+
 # Perf gate: one iteration of the Table 7 / Fig. 5 scale experiment and
 # of the scheduler scale experiment, so a regression that breaks or
 # grossly slows either benchmark path fails CI.
@@ -35,6 +41,12 @@ sched-scale-smoke:
 # (bench-watch.json).
 watch-churn-smoke:
 	$(GO) run ./cmd/ffdl-bench -watch-churn -churn-jobs 200 -churn-cycles 2 -json bench-watch.json
+
+# Small multi-tenant run (queue delay + preemption, with vs without
+# preemption); emits the BENCH json artifact CI uploads
+# (bench-tenant.json).
+tenant-smoke:
+	$(GO) run ./cmd/ffdl-bench -tenant -tenant-iters 2 -json bench-tenant.json
 
 # Docs drift gate: README.md must mention every example, and
 # docs/architecture.md must cover every internal package, and the watch
@@ -53,7 +65,7 @@ docs-check:
 		pkg=$$(basename $$d); \
 		grep -q "internal/$$pkg" docs/architecture.md || { echo "docs/architecture.md does not cover internal/$$pkg"; ok=0; }; \
 	done; \
-	for anchor in WatchStream "Store.Watch" "status bus" WatchStatus CompactRevisions TakeDropped "change feed" EventResync; do \
+	for anchor in WatchStream "Store.Watch" "status bus" WatchStatus CompactRevisions TakeDropped "change feed" EventResync Dispatcher; do \
 		grep -q "$$anchor" docs/watch-protocol.md || { echo "docs/watch-protocol.md does not cover '$$anchor'"; ok=0; }; \
 	done; \
 	grep -q "watch-protocol.md" docs/architecture.md || { echo "docs/architecture.md does not link watch-protocol.md"; ok=0; }; \
@@ -61,4 +73,4 @@ docs-check:
 	[ $$ok -eq 1 ] || exit 1
 	@echo "docs-check: README, architecture and watch-protocol docs are complete and linked"
 
-ci: fmt vet build test bench-smoke docs-check
+ci: fmt vet build test race bench-smoke docs-check

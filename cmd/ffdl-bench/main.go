@@ -10,6 +10,7 @@
 //	ffdl-bench -fig 3 -days 60     # Figure 3 over a 60-day trace
 //	ffdl-bench -sched-scale -sched-nodes 1000,5000 -json bench.json
 //	ffdl-bench -watch-churn -churn-jobs 1000 -json bench-watch.json
+//	ffdl-bench -tenant -json bench-tenant.json
 package main
 
 import (
@@ -39,7 +40,9 @@ func main() {
 		watchChurn = flag.Bool("watch-churn", false, "run the watch-churn experiment (resyncs per snapshot restore, persisted log vs ablation)")
 		churnJobs  = flag.Int("churn-jobs", 1000, "watched job prefixes for -watch-churn")
 		churnCycle = flag.Int("churn-cycles", 3, "chaos cycles for -watch-churn")
-		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn results as JSON to this file")
+		tenantExp  = flag.Bool("tenant", false, "run the multi-tenant experiment (queue delay + preemption, with vs without preemption)")
+		tenantIter = flag.Int("tenant-iters", 0, "training iterations per job for -tenant (0 = default)")
+		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -51,6 +54,9 @@ func main() {
 	}
 	if *watchChurn {
 		payload["watch_churn"] = runWatchChurn(*churnJobs, *churnCycle, *seed)
+	}
+	if *tenantExp {
+		payload["multi_tenant"] = runTenant(*tenantIter, *seed)
 	}
 	if len(payload) > 0 {
 		writeJSON(*jsonOut, payload)
@@ -169,6 +175,22 @@ func runWatchChurn(jobs, cycles int, seed int64) []expt.WatchChurnResult {
 	}
 	results := []expt.WatchChurnResult{with, without}
 	fmt.Println(expt.RenderWatchChurn(results).String())
+	return results
+}
+
+// runTenant runs the multi-tenant pair (preemption vs the ablation),
+// prints the table, and returns the raw results for the BENCH json
+// artifact.
+func runTenant(iters int, seed int64) []expt.MultiTenantResult {
+	with, without, err := expt.MultiTenantCompare(expt.MultiTenantConfig{
+		Iterations: iters, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: tenant: %v\n", err)
+		os.Exit(1)
+	}
+	results := []expt.MultiTenantResult{with, without}
+	fmt.Println(expt.RenderMultiTenant(results).String())
 	return results
 }
 

@@ -9,6 +9,9 @@
 //	ffdl-cli logs <jobID> [-search iteration]
 //	ffdl-cli halt|resume|terminate <jobID>
 //	ffdl-cli cluster
+//	ffdl-cli quota get -user alice
+//	ffdl-cli quota set -user alice -tier paid -gpus 8
+//	ffdl-cli quota list
 package main
 
 import (
@@ -44,7 +47,7 @@ func main() {
 			followStatus(*server + "/v1/jobs/" + rest[0] + "/watch")
 			return
 		}
-		get(*server + "/v1/jobs/" + rest[0])
+		status(*server + "/v1/jobs/" + rest[0])
 	case "list":
 		fs := flag.NewFlagSet("list", flag.ExitOnError)
 		user := fs.String("user", "", "filter by user")
@@ -65,14 +68,80 @@ func main() {
 		post(*server + "/v1/jobs/" + rest[0] + "/" + cmd)
 	case "cluster":
 		get(*server + "/v1/cluster")
+	case "quota":
+		quota(*server, rest)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ffdl-cli [-server URL] submit|status|list|logs|halt|resume|terminate|cluster ...")
+	fmt.Fprintln(os.Stderr, "usage: ffdl-cli [-server URL] submit|status|list|logs|halt|resume|terminate|cluster|quota ...")
 	os.Exit(2)
+}
+
+// quota manages tenant quotas: get/set/list.
+func quota(server string, rest []string) {
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ffdl-cli quota get|set|list ...")
+		os.Exit(2)
+	}
+	switch rest[0] {
+	case "get":
+		fs := flag.NewFlagSet("quota get", flag.ExitOnError)
+		user := fs.String("user", "", "tenant user")
+		fs.Parse(rest[1:]) //nolint:errcheck
+		if *user == "" {
+			fmt.Fprintln(os.Stderr, "ffdl-cli: quota get needs -user")
+			os.Exit(2)
+		}
+		get(server + "/v1/tenants/" + *user)
+	case "set":
+		fs := flag.NewFlagSet("quota set", flag.ExitOnError)
+		user := fs.String("user", "", "tenant user")
+		tier := fs.String("tier", "", "free or paid (omitted: keep the tenant's current tier)")
+		gpus := fs.Int("gpus", -1, "GPU quota ceiling (omitted: keep the tenant's current quota)")
+		fs.Parse(rest[1:]) //nolint:errcheck
+		if *user == "" {
+			fmt.Fprintln(os.Stderr, "ffdl-cli: quota set needs -user")
+			os.Exit(2)
+		}
+		// Send only the flags that were given: the server merges them
+		// with the existing record atomically, so a bare "-gpus" bump
+		// never promotes a free tenant and a bare "-tier" change never
+		// wipes the quota.
+		patch := map[string]any{}
+		if *tier != "" {
+			patch["tier"] = *tier
+		}
+		if *gpus >= 0 {
+			patch["gpus"] = *gpus
+		}
+		if len(patch) == 0 {
+			fmt.Fprintln(os.Stderr, "ffdl-cli: quota set needs -tier and/or -gpus")
+			os.Exit(2)
+		}
+		body, err := json.Marshal(patch)
+		if err != nil {
+			die(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, server+"/v1/tenants/"+*user, bytes.NewReader(body))
+		if err != nil {
+			die(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			die(err)
+		}
+		defer resp.Body.Close()
+		prettyPrint(resp.Body)
+	case "list":
+		get(server + "/v1/tenants")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ffdl-cli quota get|set|list ...")
+		os.Exit(2)
+	}
 }
 
 func needID(rest []string) {
@@ -163,6 +232,39 @@ func post(url string) {
 	}
 	defer resp.Body.Close()
 	prettyPrint(resp.Body)
+}
+
+// status prints a job's status: the full JSON reply on stdout (the
+// scriptable surface, unchanged from before queue positions existed)
+// plus a one-line human summary on stderr — a queued job shows its
+// dispatch position as QUEUED(pos=N).
+func status(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		die(err)
+	}
+	var reply struct {
+		JobID    string
+		Status   string
+		QueuePos int
+	}
+	if err := json.Unmarshal(raw, &reply); err == nil && reply.Status != "" {
+		if reply.Status == string(ffdl.StatusQueued) && reply.QueuePos > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %s(pos=%d)\n", reply.JobID, reply.Status, reply.QueuePos)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", reply.JobID, reply.Status)
+		}
+	}
+	out, err := json.MarshalIndent(json.RawMessage(raw), "", "  ")
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(string(out))
 }
 
 // followStatus streams the job's status transitions (NDJSON) and prints

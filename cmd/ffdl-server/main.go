@@ -17,6 +17,14 @@
 //	POST /v1/jobs/{id}/resume    RESUME from latest checkpoint
 //	POST /v1/jobs/{id}/terminate cancel
 //	GET  /v1/cluster             GPU utilization
+//	GET  /v1/tenants             list tenant quotas (with -tenancy)
+//	GET  /v1/tenants/{user}      one tenant's quota + live GPU usage
+//	PUT  /v1/tenants/{user}      set a quota: {"tier":"paid","gpus":8}
+//
+// With -tenancy, submissions from registered tenants are queued and
+// admitted by the tenant dispatcher instead of being rejected at
+// capacity; seed quotas with -quotas user:tier:gpus[,...] or set them
+// at runtime over PUT /v1/tenants/{user}.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,10 +48,27 @@ func main() {
 		p100    = flag.Int("p100", 0, "number of 4-GPU P100 nodes")
 		v100    = flag.Int("v100", 0, "number of 4-GPU V100 nodes")
 		speedup = flag.Float64("time-compression", 1e-3, "modeled-seconds to real-seconds factor for training")
+		tenancy = flag.Bool("tenancy", false, "enable the multi-tenant subsystem (queued admission + preemption)")
+		quotas  = flag.String("quotas", "", "seed tenant quotas, user:tier:gpus[,...] (implies -tenancy)")
 	)
 	flag.Parse()
 
-	p, err := ffdl.New(ffdl.Config{TimeCompression: *speedup})
+	cfg := ffdl.Config{TimeCompression: *speedup}
+	if *tenancy || *quotas != "" {
+		tc := &ffdl.TenancyConfig{}
+		for _, spec := range strings.Split(*quotas, ",") {
+			if spec = strings.TrimSpace(spec); spec == "" {
+				continue
+			}
+			rec, err := parseQuotaSpec(spec)
+			if err != nil {
+				log.Fatalf("ffdl-server: -quotas: %v", err)
+			}
+			tc.Quotas = append(tc.Quotas, rec)
+		}
+		cfg.Tenancy = tc
+	}
+	p, err := ffdl.New(cfg)
 	if err != nil {
 		log.Fatalf("ffdl-server: %v", err)
 	}
@@ -182,7 +208,123 @@ func main() {
 		writeJSON(w, http.StatusOK, map[string]int{"allocatedGPUs": alloc, "capacityGPUs": capacity})
 	})
 
-	fmt.Printf("ffdl-server listening on http://%s (GPUs: %d K80-node, %d P100-node, %d V100-node; dataset bucket \"datasets\" prefix \"demo/\")\n",
-		*listen, *k80, *p100, *v100)
+	mux.HandleFunc("/v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		recs, err := client.Tenants(ctx)
+		if err != nil {
+			fail(w, http.StatusConflict, err)
+			return
+		}
+		out := make([]tenantWire, 0, len(recs))
+		for _, rec := range recs {
+			out = append(out, toWire(rec, -1))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("/v1/tenants/", func(w http.ResponseWriter, r *http.Request) {
+		user := strings.TrimPrefix(r.URL.Path, "/v1/tenants/")
+		if user == "" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		switch r.Method {
+		case http.MethodGet:
+			rec, inUse, err := client.Quota(ctx, user)
+			if err != nil {
+				fail(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, toWire(rec, inUse))
+		case http.MethodPut:
+			// Partial update: an omitted field keeps the tenant's
+			// current value, so concurrent single-field updates (one
+			// admin bumping -gpus, another changing -tier) cannot
+			// silently revert each other through a client-side
+			// read-modify-write.
+			var in struct {
+				Tier *string `json:"tier"`
+				GPUs *int    `json:"gpus"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+				fail(w, http.StatusBadRequest, err)
+				return
+			}
+			rec, _, err := client.Quota(ctx, user)
+			if err != nil {
+				// New tenant: both fields are required.
+				if in.Tier == nil || in.GPUs == nil {
+					fail(w, http.StatusBadRequest,
+						fmt.Errorf("new tenant %q needs both tier and gpus", user))
+					return
+				}
+				rec = ffdl.Tenant{User: user}
+			}
+			if in.Tier != nil {
+				tier, err := ffdl.ParseTier(*in.Tier)
+				if err != nil {
+					fail(w, http.StatusBadRequest, err)
+					return
+				}
+				rec.Tier = tier
+			}
+			if in.GPUs != nil {
+				rec.GPUs = *in.GPUs
+			}
+			rec.User = user
+			if err := client.SetQuota(ctx, rec); err != nil {
+				fail(w, http.StatusConflict, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, toWire(rec, -1))
+		default:
+			w.WriteHeader(http.StatusMethodNotAllowed)
+		}
+	})
+
+	fmt.Printf("ffdl-server listening on http://%s (GPUs: %d K80-node, %d P100-node, %d V100-node; dataset bucket \"datasets\" prefix \"demo/\"; tenancy %v)\n",
+		*listen, *k80, *p100, *v100, cfg.Tenancy != nil)
 	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// tenantWire is the JSON shape of a tenant record on the REST surface.
+type tenantWire struct {
+	User string `json:"user"`
+	Tier string `json:"tier"`
+	GPUs int    `json:"gpus"`
+	// InUse is the tenant's live admitted GPU footprint (omitted where
+	// not applicable, e.g. list responses).
+	InUse *int `json:"inUse,omitempty"`
+}
+
+func toWire(rec ffdl.Tenant, inUse int) tenantWire {
+	w := tenantWire{User: rec.User, Tier: ffdl.TierName(rec.Tier), GPUs: rec.GPUs}
+	if inUse >= 0 {
+		w.InUse = &inUse
+	}
+	return w
+}
+
+// parseQuotaSpec parses one -quotas entry of the form user:tier:gpus.
+func parseQuotaSpec(spec string) (ffdl.Tenant, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return ffdl.Tenant{}, fmt.Errorf("bad quota %q (want user:tier:gpus)", spec)
+	}
+	tier, err := ffdl.ParseTier(parts[1])
+	if err != nil {
+		return ffdl.Tenant{}, err
+	}
+	gpus, err := strconv.Atoi(parts[2])
+	if err != nil || gpus < 0 {
+		return ffdl.Tenant{}, fmt.Errorf("bad GPU count in quota %q", spec)
+	}
+	return ffdl.Tenant{User: parts[0], Tier: tier, GPUs: gpus}, nil
 }

@@ -64,6 +64,20 @@
 // resync (current state) rather than a silent gap, so consumers can
 // miss events safely.
 //
+// # Multi-tenancy
+//
+// With Config.Tenancy set, admission control is a queue, not a gate
+// (§3.6): every user has a registry record (tier + GPU quota, managed
+// via Client.SetQuota / Client.Tenants), submissions are persisted as
+// QUEUED, and an event-driven dispatcher admits them in FCFS order —
+// over-quota work opportunistically when entitlements are idle. A
+// starved in-quota job preempts: free-tier and over-quota victims are
+// checkpointed and halted through the normal HALT path, requeued at
+// the head, and resumed from their checkpoints when capacity frees.
+// Client.Status reports QUEUED jobs' queue position;
+// ffdl-bench -tenant measures queue delays and preemptions under a
+// mixed free/paid workload.
+//
 // The package re-exports the platform's user-facing types from
 // internal/core and the performance-model vocabulary from internal/perf;
 // everything else (scheduling policies, substrates, experiment
@@ -77,6 +91,7 @@ import (
 	"github.com/ffdl/ffdl/internal/core"
 	"github.com/ffdl/ffdl/internal/perf"
 	"github.com/ffdl/ffdl/internal/sched"
+	"github.com/ffdl/ffdl/internal/tenant"
 )
 
 // Re-exported user-facing types.
@@ -99,10 +114,17 @@ type (
 	// (gang scheduling + pack placement, 2 API / 2 LCM / 3 etcd
 	// replicas).
 	Config = core.Config
+	// TenancyConfig enables the multi-tenant subsystem: queued
+	// admission, fair-share dispatch and checkpoint-preemption (§3.6).
+	// Set it on Config.Tenancy.
+	TenancyConfig = core.TenancyConfig
+	// Tenant is one user's registry record: tier plus GPU quota.
+	Tenant = tenant.Record
 )
 
 // Job statuses.
 const (
+	StatusQueued      = core.StatusQueued
 	StatusPending     = core.StatusPending
 	StatusDeploying   = core.StatusDeploying
 	StatusDownloading = core.StatusDownloading
@@ -120,6 +142,20 @@ const (
 	K80  = perf.K80
 	P100 = perf.P100
 	V100 = perf.V100
+)
+
+// Tenant tiers (free-tier jobs are preemptible; paid in-quota jobs can
+// preempt).
+const (
+	TierFree = sched.TierFree
+	TierPaid = sched.TierPaid
+)
+
+// TierName and ParseTier convert tenant tiers to and from their API
+// names ("free", "paid").
+var (
+	TierName  = tenant.TierName
+	ParseTier = tenant.ParseTier
 )
 
 // Frameworks.

@@ -11,6 +11,7 @@ import (
 	"github.com/ffdl/ffdl/internal/rpc"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
+	"github.com/ffdl/ffdl/internal/tenant"
 )
 
 // RPC message types (gob-encoded).
@@ -24,12 +25,30 @@ type SubmitReply struct{ JobID string }
 // JobArgs addresses one job.
 type JobArgs struct{ JobID string }
 
-// StatusReply returns status and history.
+// StatusReply returns status and history. QueuePos is the job's 1-based
+// position in the tenant dispatch queue while Status is QUEUED (0
+// otherwise, or when tenancy is disabled).
 type StatusReply struct {
-	JobID   string
-	Status  JobStatus
-	History []StatusEntry
+	JobID    string
+	Status   JobStatus
+	QueuePos int
+	History  []StatusEntry
 }
+
+// TenantArgs addresses one tenant.
+type TenantArgs struct{ User string }
+
+// TenantReply returns one tenant record plus its live GPU usage.
+type TenantReply struct {
+	Tenant tenant.Record
+	InUse  int
+}
+
+// TenantsReply lists tenant records.
+type TenantsReply struct{ Tenants []tenant.Record }
+
+// SetTenantArgs installs or updates a tenant record.
+type SetTenantArgs struct{ Tenant tenant.Record }
 
 // ListArgs filters jobs by user ("" = all).
 type ListArgs struct{ User string }
@@ -88,6 +107,9 @@ func (a *apiReplica) listen() error {
 	srv.Register("API.Submit", SubmitArgs{}, a.handleSubmit)
 	srv.Register("API.Status", JobArgs{}, a.handleStatus)
 	srv.Register("API.List", ListArgs{}, a.handleList)
+	srv.Register("API.Quota", TenantArgs{}, a.handleQuota)
+	srv.Register("API.SetQuota", SetTenantArgs{}, a.handleSetQuota)
+	srv.Register("API.Tenants", TenantArgs{}, a.handleTenants)
 	srv.Register("API.Halt", JobArgs{}, a.control(controlHalt))
 	srv.Register("API.Resume", JobArgs{}, a.control(controlResume))
 	srv.Register("API.Terminate", JobArgs{}, a.control(controlTerminate))
@@ -105,14 +127,31 @@ func (a *apiReplica) listen() error {
 // handleSubmit stores metadata durably BEFORE acknowledging: "the API
 // layer stores all the metadata in MongoDB before acknowledging the
 // request. This ensures that submitted jobs are never lost" (§3.2).
+//
+// With the tenant subsystem enabled, submissions are not gated here:
+// any job from a registered tenant is accepted, persisted as QUEUED,
+// and admitted later by the dispatcher — over-capacity work waits in
+// the queue instead of being rejected (§3.6). Without it, the legacy
+// Config.Admission gate still rejects over-capacity submits, but the
+// footprint is only kept once the MongoDB insert succeeds, and Admit is
+// idempotent per job ID, so API replica retries cannot double-count.
 func (a *apiReplica) handleSubmit(_ context.Context, arg any) (any, error) {
 	req := arg.(SubmitArgs)
 	m := req.Manifest
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	status := StatusPending
+	message := "job submitted"
+	if a.p.Dispatcher != nil {
+		if _, ok := a.p.Tenants.Get(m.User); !ok {
+			return nil, fmt.Errorf("core: user %q has no tenant record (set a quota first)", m.User)
+		}
+		status = StatusQueued
+		message = "job queued for admission"
+	}
 	jobID := a.p.nextJobID()
-	if adm := a.p.cfg.Admission; adm != nil {
+	if adm := a.p.Admission; adm != nil && a.p.Dispatcher == nil {
 		dec, err := adm.Admit(manifestGang(&m, jobID))
 		if dec == sched.Reject {
 			return nil, fmt.Errorf("core: admission rejected job: %w", err)
@@ -121,28 +160,76 @@ func (a *apiReplica) handleSubmit(_ context.Context, arg any) (any, error) {
 	now := a.p.clock.Now()
 	doc := manifestToDoc(m)
 	doc["_id"] = jobID
-	doc["status"] = string(StatusPending)
+	doc["status"] = string(status)
 	doc["submitted"] = now.Format(time.RFC3339Nano)
 	doc["history"] = []any{map[string]any{
-		"status": string(StatusPending), "time": now.Format(time.RFC3339Nano),
-		"message": "job submitted",
+		"status": string(status), "time": now.Format(time.RFC3339Nano),
+		"message": message,
 	}}
 	if _, err := a.p.Jobs.Insert(doc); err != nil {
+		if adm := a.p.Admission; adm != nil && a.p.Dispatcher == nil {
+			adm.Release(jobID) // keep accounting exact on failed persists
+		}
 		return nil, fmt.Errorf("core: persist job: %w", err)
 	}
-	// Announce the new PENDING job on the status bus: the LCM recovery
-	// loop and any WatchStatus subscriber wake immediately.
+	// Announce the new job on the status bus: the tenant dispatcher (for
+	// QUEUED), the LCM recovery loop (for PENDING) and any WatchStatus
+	// subscriber wake immediately.
 	a.p.bus.Publish(StatusEvent{
 		JobID:  jobID,
 		Seq:    1,
-		Status: StatusPending,
-		Entry:  StatusEntry{Status: StatusPending, Time: now, Message: "job submitted"},
+		Status: status,
+		Entry:  StatusEntry{Status: status, Time: now, Message: message},
 	})
-	// Hand off to the LCM asynchronously; if every LCM replica is down
-	// the LCM recovery loop will pick the job up from MongoDB later.
-	go a.deployWithRetry(jobID)
+	if a.p.Dispatcher == nil {
+		// Hand off to the LCM asynchronously; if every LCM replica is
+		// down the LCM recovery loop will pick the job up from MongoDB
+		// later. (Queued jobs reach the LCM through the dispatcher.)
+		go a.deployWithRetry(jobID)
+	}
 	return SubmitReply{JobID: jobID}, nil
 }
+
+// handleQuota returns one tenant's record and live GPU usage.
+func (a *apiReplica) handleQuota(_ context.Context, arg any) (any, error) {
+	req := arg.(TenantArgs)
+	if a.p.Tenants == nil {
+		return nil, errTenancyDisabled
+	}
+	rec, ok := a.p.Tenants.Get(req.User)
+	if !ok {
+		return nil, fmt.Errorf("core: no tenant record for %q", req.User)
+	}
+	reply := TenantReply{Tenant: rec}
+	if a.p.Admission != nil {
+		reply.InUse = a.p.Admission.Usage(req.User)
+	}
+	return reply, nil
+}
+
+// handleSetQuota installs or updates a tenant record. The write lands
+// in MongoDB first; dispatchers on every platform process observe it
+// through the tenants change feed.
+func (a *apiReplica) handleSetQuota(_ context.Context, arg any) (any, error) {
+	req := arg.(SetTenantArgs)
+	if a.p.Tenants == nil {
+		return nil, errTenancyDisabled
+	}
+	if err := a.p.Tenants.Put(req.Tenant); err != nil {
+		return nil, err
+	}
+	return TenantReply{Tenant: req.Tenant}, nil
+}
+
+// handleTenants lists all tenant records.
+func (a *apiReplica) handleTenants(_ context.Context, arg any) (any, error) {
+	if a.p.Tenants == nil {
+		return nil, errTenancyDisabled
+	}
+	return TenantsReply{Tenants: a.p.Tenants.List()}, nil
+}
+
+var errTenancyDisabled = errors.New("core: tenancy is not enabled on this platform")
 
 func (a *apiReplica) deployWithRetry(jobID string) {
 	for attempt := 0; attempt < 50; attempt++ {
@@ -165,7 +252,11 @@ func (a *apiReplica) handleStatus(_ context.Context, arg any) (any, error) {
 		return nil, fmt.Errorf("core: job %s: %w", req.JobID, err)
 	}
 	rec := docToRecord(doc)
-	return StatusReply{JobID: rec.ID, Status: rec.Status, History: rec.History}, nil
+	reply := StatusReply{JobID: rec.ID, Status: rec.Status, History: rec.History}
+	if rec.Status == StatusQueued && a.p.Dispatcher != nil {
+		reply.QueuePos, _ = a.p.Dispatcher.Position(rec.ID)
+	}
+	return reply, nil
 }
 
 func (a *apiReplica) handleList(_ context.Context, arg any) (any, error) {
@@ -424,6 +515,32 @@ func (c *Client) Resume(ctx context.Context, jobID string) error {
 // Terminate cancels a job.
 func (c *Client) Terminate(ctx context.Context, jobID string) error {
 	return c.api.Call(ctx, "API.Terminate", JobArgs{JobID: jobID}, nil)
+}
+
+// Quota returns a tenant's record plus its live GPU usage.
+func (c *Client) Quota(ctx context.Context, user string) (tenant.Record, int, error) {
+	var reply TenantReply
+	if err := c.api.Call(ctx, "API.Quota", TenantArgs{User: user}, &reply); err != nil {
+		return tenant.Record{}, 0, err
+	}
+	return reply.Tenant, reply.InUse, nil
+}
+
+// SetQuota installs or updates a tenant record. The quota takes effect
+// for queued work as soon as the dispatcher observes the write on the
+// tenants change feed — raising a quota can trigger preemption on
+// behalf of a newly in-quota queued job.
+func (c *Client) SetQuota(ctx context.Context, rec tenant.Record) error {
+	return c.api.Call(ctx, "API.SetQuota", SetTenantArgs{Tenant: rec}, nil)
+}
+
+// Tenants lists all tenant records.
+func (c *Client) Tenants(ctx context.Context) ([]tenant.Record, error) {
+	var reply TenantsReply
+	if err := c.api.Call(ctx, "API.Tenants", TenantArgs{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Tenants, nil
 }
 
 // Logs fetches a job's collected logs.

@@ -114,8 +114,9 @@ func (l *lcmReplica) handleTerminate(_ context.Context, arg any) (any, error) {
 	if status.Terminal() {
 		return nil, nil
 	}
-	if status == StatusPending {
-		// No guardian yet: cancel directly.
+	if status == StatusQueued || status == StatusPending {
+		// No guardian yet: cancel directly. (The tenant dispatcher
+		// drops a canceled QUEUED job on the terminal bus event.)
 		return nil, l.p.setJobStatus(req.JobID, StatusCanceled, "terminated by user before deployment")
 	}
 	_, err = l.p.Etcd.Put(keyControl(req.JobID), []byte(controlTerminate), 0)

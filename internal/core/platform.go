@@ -13,6 +13,7 @@ import (
 	"github.com/ffdl/ffdl/internal/rpc"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
+	"github.com/ffdl/ffdl/internal/tenant"
 )
 
 // Pod type labels used across the platform (they key container start
@@ -64,17 +65,35 @@ type Config struct {
 
 	// PollInterval is the platform-internal control loop period.
 	PollInterval time.Duration
-	// SchedulerInterval / ResyncInterval tune the kube control loops
-	// (defaulted by internal/kube when zero).
+	// SchedulerInterval / ResyncInterval / HeartbeatInterval /
+	// NodeGracePeriod tune the kube control loops (defaulted by
+	// internal/kube when zero). Long-virtual-horizon experiments on a
+	// simulated clock stretch all of them so periodic safety nets do
+	// not dominate the event count.
 	SchedulerInterval time.Duration
 	ResyncInterval    time.Duration
+	HeartbeatInterval time.Duration
+	NodeGracePeriod   time.Duration
 	// DeployAttempts is the Guardian's rollback-retry budget ("repeated
 	// for a (configurable) number of times before the Guardian gives
 	// up", §3.3).
 	DeployAttempts int
 
-	// Admission, when non-nil, gates submissions by user quota.
+	// Admission, when non-nil, gates submissions by user quota. Without
+	// Tenancy it acts as the legacy synchronous submit-time gate
+	// (rejecting over-capacity work); with Tenancy it becomes the
+	// tenant dispatcher's accounting controller. Footprints are
+	// released on every terminal transition either way, driven from the
+	// status bus so transitions committed by any writer are covered.
 	Admission *sched.Admission
+
+	// Tenancy, when non-nil, enables the multi-tenant subsystem
+	// (internal/tenant): submissions are persisted as QUEUED and an
+	// event-driven dispatcher admits them in FCFS order, preempting
+	// free-tier and over-quota work for starved in-quota requests. If
+	// Admission is nil a controller is created, with its cluster budget
+	// tracked from kube node capacity.
+	Tenancy *TenancyConfig
 
 	// StorageBandwidth throttles the object store (bytes/sec aggregate);
 	// 0 = unthrottled.
@@ -136,6 +155,20 @@ func (c *Config) defaults() {
 	}
 }
 
+// TenancyConfig parameterizes the multi-tenant subsystem.
+type TenancyConfig struct {
+	// Quotas seeds the tenant registry at boot; Client.SetQuota (and
+	// PUT /v1/tenants/{user}) add or update records at runtime.
+	Quotas []tenant.Record
+	// DisablePreemption keeps starved in-quota heads waiting instead of
+	// checkpointing victims (ablation; production FfDL preempts, §3.6).
+	DisablePreemption bool
+	// ResyncInterval overrides the dispatcher's safety-net tick
+	// (default PollInterval * 10). It bounds recovery from dropped
+	// events, never dispatch latency.
+	ResyncInterval time.Duration
+}
+
 // jobResources is the in-memory handle set for one deployed job.
 type jobResources struct {
 	manifest Manifest
@@ -158,6 +191,14 @@ type Platform struct {
 	Metrics *MetricsService
 
 	Registry *rpc.Registry
+
+	// Tenants and Dispatcher are the multi-tenant subsystem (nil unless
+	// Config.Tenancy is set): the MongoDB-backed quota registry and the
+	// event-driven admission queue over it. Admission is the shared
+	// accounting controller (also set in legacy Config.Admission mode).
+	Tenants    *tenant.Registry
+	Dispatcher *tenant.Dispatcher
+	Admission  *sched.Admission
 
 	// bus fans out job status transitions to in-process subscribers
 	// (LCM recovery, API WatchStatus streams); statusMu serializes
@@ -186,6 +227,10 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		Replicas: cfg.EtcdReplicas,
 		Clock:    cfg.Clock,
 		Seed:     cfg.Seed + 1,
+		// Watch failure detection is a safety net like every other
+		// resync tick, so it scales with the platform's poll interval
+		// (and stretches with it in long-virtual-horizon simulations).
+		WatchHealthInterval: cfg.PollInterval * 4,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: boot etcd: %w", err)
@@ -219,6 +264,8 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		StartDelay:        cfg.StartDelay,
 		SchedulerInterval: cfg.SchedulerInterval,
 		ResyncInterval:    cfg.ResyncInterval,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		NodeGracePeriod:   cfg.NodeGracePeriod,
 	})
 
 	p := &Platform{
@@ -251,6 +298,22 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		defer feed.Cancel()
 		p.statusFeedLoop(feed)
 	}()
+
+	p.Admission = cfg.Admission
+	if cfg.Tenancy != nil {
+		if err := p.startTenancy(cfg.Tenancy); err != nil {
+			p.Stop()
+			return nil, err
+		}
+	} else if p.Admission != nil {
+		// Legacy synchronous gate: footprints are still released on
+		// every terminal transition, driven from the status bus.
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.admissionAccountingLoop()
+		}()
+	}
 
 	for i := 0; i < cfg.APIReplicas; i++ {
 		a, err := newAPIReplica(p, i)
@@ -343,6 +406,9 @@ func (p *Platform) Stop() {
 	default:
 	}
 	close(p.stopCh)
+	if p.Dispatcher != nil {
+		p.Dispatcher.Stop()
+	}
 	for _, a := range p.apis {
 		a.stop()
 	}

@@ -17,6 +17,11 @@ type JobStatus string
 
 // Job statuses.
 const (
+	// StatusQueued marks a submission accepted and persisted but not yet
+	// admitted: under the tenant subsystem (§3.6), over-capacity work
+	// waits in the dispatch queue instead of being rejected. The tenant
+	// dispatcher moves it to PENDING when its footprint is admitted.
+	StatusQueued      JobStatus = "QUEUED"
 	StatusPending     JobStatus = "PENDING"
 	StatusDeploying   JobStatus = "DEPLOYING"
 	StatusDownloading JobStatus = "DOWNLOADING"
@@ -38,18 +43,20 @@ func (s JobStatus) Terminal() bool {
 // learners: the job is only as far along as its slowest learner.
 func statusRank(s JobStatus) int {
 	switch s {
-	case StatusPending:
+	case StatusQueued:
 		return 1
-	case StatusDeploying:
+	case StatusPending:
 		return 2
-	case StatusDownloading:
+	case StatusDeploying:
 		return 3
-	case StatusProcessing:
+	case StatusDownloading:
 		return 4
-	case StatusStoring:
+	case StatusProcessing:
 		return 5
-	case StatusCompleted:
+	case StatusStoring:
 		return 6
+	case StatusCompleted:
+		return 7
 	default:
 		return 0
 	}
@@ -93,11 +100,13 @@ func CanTransition(from, to JobStatus) bool {
 	if from == StatusResumed {
 		fromRank = statusRank(StatusDeploying)
 	}
-	// DEPLOYING is re-entrant from any in-flight state: a restarted
+	// DEPLOYING is re-entrant from any *admitted* state: a restarted
 	// Guardian rolls the job back and redeploys it from scratch (§3.3),
-	// which legitimately moves a PROCESSING job back to DEPLOYING.
+	// which legitimately moves a PROCESSING job back to DEPLOYING. A
+	// QUEUED job, by contrast, has no admitted footprint and must pass
+	// through PENDING (dispatch) first.
 	if to == StatusDeploying {
-		return true
+		return fromRank >= statusRank(StatusPending)
 	}
 	return statusRank(to) > fromRank
 }

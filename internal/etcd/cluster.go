@@ -46,6 +46,13 @@ type Options struct {
 	// back to the in-memory ring buffer only, the pre-durability
 	// behaviour kept for the watch-churn ablation).
 	CompactRevisions int
+	// WatchHealthInterval is the per-stream failure-detection tick: how
+	// often an attached WatchStream audits its source replica for
+	// isolation, stuckness or buffer overflow. It bounds failover
+	// detection latency only — event delivery is pushed — so
+	// long-virtual-horizon simulations may stretch it freely. Defaults
+	// to TickInterval * 4.
+	WatchHealthInterval time.Duration
 }
 
 func (o *Options) defaults() {
@@ -73,6 +80,9 @@ func (o *Options) defaults() {
 	if o.CompactRevisions == 0 {
 		o.CompactRevisions = 4096
 	}
+	if o.WatchHealthInterval <= 0 {
+		o.WatchHealthInterval = o.TickInterval * 4
+	}
 }
 
 // Cluster is an in-process replicated etcd: n Raft nodes, each applying
@@ -92,9 +102,25 @@ type Cluster struct {
 	waiters map[uint64]chan result
 	applied map[uint64]result // request dedup cache (mirrors leader's view)
 
+	// leaseCh wakes the lease-expiry loop when a Grant creates the
+	// first lease (buffered; non-blocking send).
+	leaseCh chan struct{}
+
 	stopCh  chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+}
+
+// anyLeases reports whether any replica's state machine tracks a live
+// lease (replicas converge via Raft; checking all sides errs toward
+// arming the expiry timer).
+func (c *Cluster) anyLeases() bool {
+	for _, st := range c.states {
+		if st.leaseCount() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // NewCluster boots a Raft cluster and waits for a leader.
@@ -105,6 +131,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		transport: newMemTransport(),
 		waiters:   make(map[uint64]chan result),
 		applied:   make(map[uint64]result),
+		leaseCh:   make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 	}
 	peers := make([]int, opts.Replicas)
@@ -168,15 +195,26 @@ func (c *Cluster) applier(st *storeState) applyFunc {
 }
 
 // leaseExpiryLoop revokes expired leases via consensus so all replicas
-// delete lease-bound keys identically.
+// delete lease-bound keys identically. The loop is event-aware: it only
+// arms a clock timer while leases exist, waiting on the Grant signal
+// otherwise — a lease-free cluster holds no recurring virtual-clock
+// waiter, so an idle platform stays quiescent and simulated clocks can
+// jump freely instead of being throttled to TickInterval*4 steps.
 func (c *Cluster) leaseExpiryLoop() {
-	ticker := c.opts.Clock.NewTicker(c.opts.TickInterval * 4)
-	defer ticker.Stop()
 	for {
+		if !c.anyLeases() {
+			select {
+			case <-c.stopCh:
+				return
+			case <-c.leaseCh:
+			}
+		}
+		t := c.opts.Clock.NewTimer(c.opts.TickInterval * 4)
 		select {
 		case <-c.stopCh:
+			t.Stop()
 			return
-		case <-ticker.C:
+		case <-t.C:
 			li := c.leaderIndex()
 			if li < 0 {
 				continue
@@ -307,6 +345,13 @@ func (c *Cluster) DeletePrefix(prefix string) (bool, error) {
 // Grant creates a lease with the given TTL.
 func (c *Cluster) Grant(ttl time.Duration) (int64, error) {
 	res, err := c.propose(&command{Op: opGrantLease, TTL: ttl})
+	if err == nil {
+		// Arm the expiry loop (it holds no timer while lease-free).
+		select {
+		case c.leaseCh <- struct{}{}:
+		default:
+		}
+	}
 	return res.leaseID, err
 }
 

@@ -392,6 +392,13 @@ func (s *storeState) list(prefix string) []KV {
 	return out
 }
 
+// leaseCount returns the number of live leases.
+func (s *storeState) leaseCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.leases)
+}
+
 // expiredLeases returns lease IDs past their deadline.
 func (s *storeState) expiredLeases() []int64 {
 	s.mu.Lock()

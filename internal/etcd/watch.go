@@ -137,7 +137,7 @@ func (ws *WatchStream) run(at attachment, fromRev uint64) {
 		}
 		// The health ticker only bounds failure-detection latency; event
 		// delivery itself is pushed.
-		health := c.opts.Clock.NewTicker(c.opts.TickInterval * 4)
+		health := c.opts.Clock.NewTicker(c.opts.WatchHealthInterval)
 		lastSrcRev := at.st.revision()
 	stream:
 		for {

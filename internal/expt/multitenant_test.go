@@ -1,0 +1,39 @@
+package expt
+
+import "testing"
+
+// TestMultiTenantPreemptsAndAccounts runs a small mixed free/paid
+// workload and checks the §3.6 mechanics end to end: everything
+// completes, the paid wave triggers checkpoint-preemption of free-tier
+// victims, victims requeue and resume, and queue-delay accounting is
+// populated on the Fig. 3 scale.
+func TestMultiTenantPreemptsAndAccounts(t *testing.T) {
+	res, err := MultiTenant(MultiTenantConfig{
+		Nodes:     1, // 4 GPUs
+		FreeUsers: 1, PaidUsers: 1,
+		FreeJobsPerUser: 1, PaidJobsPerUser: 2,
+		Iterations: 2,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%+v", res)
+	if res.Completed != res.Jobs {
+		t.Fatalf("completed %d/%d jobs", res.Completed, res.Jobs)
+	}
+	if res.Preemptions == 0 || res.Requeues == 0 || res.Resumes == 0 {
+		t.Fatalf("no preemption activity: %+v", res)
+	}
+	if res.Dispatches != uint64(res.Jobs) {
+		t.Fatalf("dispatches = %d, want %d", res.Dispatches, res.Jobs)
+	}
+	// The paid tail waits behind the resumed victim: delay accounting
+	// must see it on the >15-minute scale.
+	if res.QueuedOver15MinPaid == 0 {
+		t.Fatalf("no paid job crossed the 15-minute threshold: %+v", res)
+	}
+	if res.VirtualMinutes < 15 {
+		t.Fatalf("virtual horizon implausibly short: %v min", res.VirtualMinutes)
+	}
+}

@@ -65,12 +65,19 @@ type runningJob struct {
 // Admission implements quota-based admission control with preemption.
 // It sits logically above FfDL (§3.6) and decides which jobs reach the
 // scheduler queue at all.
+//
+// Entries are keyed by job ID and both Admit and Release are
+// idempotent per job, so the controller stays correct when the same job
+// is admitted or released more than once — an API client retrying a
+// submit against another replica, a dispatcher re-admitting after a
+// resync, or duplicate terminal events from the status bus.
 type Admission struct {
 	mu      sync.Mutex
 	quotas  map[string]UserQuota
 	usage   map[string]int // user -> GPUs held by running+queued jobs
 	running map[string]*runningJob
-	// ClusterGPUs caps aggregate admission; 0 = unlimited.
+	// ClusterGPUs caps aggregate admission; 0 = unlimited. Mutate via
+	// SetClusterGPUs once the controller is shared across goroutines.
 	ClusterGPUs int
 	admitted    int // total GPUs admitted
 	seq         uint64
@@ -95,6 +102,61 @@ func (a *Admission) SetQuota(q UserQuota) {
 	a.quotas[q.User] = q
 }
 
+// Quota returns a user's quota, if one is installed.
+func (a *Admission) Quota(user string) (UserQuota, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	q, ok := a.quotas[user]
+	return q, ok
+}
+
+// SetClusterGPUs updates the aggregate admission cap. The tenant
+// dispatcher tracks cluster capacity through this as nodes come and
+// go. 0 keeps the legacy "unlimited" meaning; a negative value means
+// *known-zero* capacity (a cluster that currently has no GPU nodes
+// admits nothing) — without the distinction, losing the last node
+// would flip the budget to unlimited.
+func (a *Admission) SetClusterGPUs(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ClusterGPUs = n
+}
+
+// clusterLimitLocked normalizes ClusterGPUs: -1 for unlimited, else
+// the effective non-negative cap.
+func (a *Admission) clusterLimitLocked() int {
+	switch {
+	case a.ClusterGPUs == 0:
+		return -1 // unlimited
+	case a.ClusterGPUs < 0:
+		return 0 // known-zero capacity
+	default:
+		return a.ClusterGPUs
+	}
+}
+
+// ClusterCap returns the aggregate admission cap (0 = unlimited).
+func (a *Admission) ClusterCap() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ClusterGPUs
+}
+
+// AdmittedGPUs returns the total GPU footprint currently admitted.
+func (a *Admission) AdmittedGPUs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.admitted
+}
+
+// Holds reports whether the job currently holds an admitted footprint.
+func (a *Admission) Holds(jobID string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.running[jobID]
+	return ok
+}
+
 // Usage returns the GPUs currently held by a user's admitted jobs.
 func (a *Admission) Usage(user string) int {
 	a.mu.Lock()
@@ -110,18 +172,27 @@ func (a *Admission) Preemptions() int64 {
 }
 
 // Admit decides whether a gang may enter the scheduling queue and
-// registers its footprint when admitted.
+// registers its footprint when admitted. Admit is idempotent per job:
+// re-admitting a job that already holds a footprint returns the
+// original decision without double-counting, which is what keeps
+// accounting correct across API replica retries and dispatcher resyncs.
 func (a *Admission) Admit(g *Gang) (AdmitDecision, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if j, ok := a.running[g.JobID]; ok {
+		if j.overQuota {
+			return AdmitOverQuota, nil
+		}
+		return AdmitInQuota, nil
+	}
 	q, ok := a.quotas[g.User]
 	if !ok {
 		return Reject, fmt.Errorf("sched: user %q has no quota", g.User)
 	}
 	need := g.GPUDemand()
-	if a.ClusterGPUs > 0 && a.admitted+need > a.ClusterGPUs {
+	if limit := a.clusterLimitLocked(); limit >= 0 && a.admitted+need > limit {
 		return Reject, fmt.Errorf("sched: cluster GPU admission limit reached (%d/%d in use, %d requested)",
-			a.admitted, a.ClusterGPUs, need)
+			a.admitted, limit, need)
 	}
 	over := a.usage[g.User]+need > q.GPUs
 	a.seq++
@@ -136,7 +207,10 @@ func (a *Admission) Admit(g *Gang) (AdmitDecision, error) {
 	return AdmitInQuota, nil
 }
 
-// Release returns a finished (or preempted) job's footprint.
+// Release returns a finished (or preempted) job's footprint. Release
+// is idempotent: releasing a job with no registered footprint — already
+// released, never admitted, or preempted meanwhile — is a no-op, so
+// duplicate terminal events cannot drive usage negative.
 func (a *Admission) Release(jobID string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -391,5 +392,206 @@ func TestBSAFeasibilityAgreesWithGreedyProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAdmitIdempotentPerJob: re-admitting a job that already holds a
+// footprint returns the original decision without double-counting —
+// the guard against API replica retries and dispatcher resyncs.
+func TestAdmitIdempotentPerJob(t *testing.T) {
+	a := NewAdmission(8)
+	a.SetQuota(UserQuota{User: "u", Tier: TierPaid, GPUs: 4})
+	g := gang("j1", 2, 2) // 4 GPUs, exactly in quota
+	for i := 0; i < 3; i++ {
+		dec, err := a.Admit(g)
+		if err != nil || dec != AdmitInQuota {
+			t.Fatalf("admit #%d = %v %v", i, dec, err)
+		}
+	}
+	if got := a.Usage("u"); got != 4 {
+		t.Fatalf("usage after repeated admits = %d, want 4", got)
+	}
+	if got := a.AdmittedGPUs(); got != 4 {
+		t.Fatalf("admitted after repeated admits = %d, want 4", got)
+	}
+	// The replayed decision is the recorded one, even once the user is
+	// over quota through another job.
+	g2 := gang("j2", 2, 2)
+	if dec, _ := a.Admit(g2); dec != AdmitOverQuota {
+		t.Fatalf("j2 = %v, want over-quota", dec)
+	}
+	if dec, _ := a.Admit(g2); dec != AdmitOverQuota {
+		t.Fatalf("replayed j2 decision changed")
+	}
+	if dec, _ := a.Admit(g); dec != AdmitInQuota {
+		t.Fatalf("replayed j1 decision changed")
+	}
+}
+
+// TestReleaseIdempotent: double release (and release of an unknown job)
+// is a no-op — usage cannot go negative.
+func TestReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(0)
+	a.SetQuota(UserQuota{User: "u", Tier: TierPaid, GPUs: 8})
+	g := gang("j1", 1, 2)
+	if _, err := a.Admit(g); err != nil {
+		t.Fatal(err)
+	}
+	a.Release("j1")
+	a.Release("j1")
+	a.Release("never-admitted")
+	if got := a.Usage("u"); got != 0 {
+		t.Fatalf("usage after double release = %d, want 0", got)
+	}
+	if got := a.AdmittedGPUs(); got != 0 {
+		t.Fatalf("admitted after double release = %d, want 0", got)
+	}
+	if a.Holds("j1") {
+		t.Fatal("released job still held")
+	}
+}
+
+// TestClusterGPUSentinels: 0 keeps the legacy "unlimited" meaning,
+// negative means known-zero capacity and admits nothing.
+func TestClusterGPUSentinels(t *testing.T) {
+	a := NewAdmission(0)
+	a.SetQuota(UserQuota{User: "u", Tier: TierPaid, GPUs: 4})
+	if dec, err := a.Admit(gang("unltd", 1, 2)); dec == Reject {
+		t.Fatalf("unlimited budget rejected: %v", err)
+	}
+	a.SetClusterGPUs(-1)
+	if dec, _ := a.Admit(gang("none", 1, 1)); dec != Reject {
+		t.Fatalf("known-zero capacity admitted: %v", dec)
+	}
+	a.SetClusterGPUs(4)
+	if dec, _ := a.Admit(gang("fits", 1, 2)); dec == Reject {
+		t.Fatal("positive budget rejected a fitting job")
+	}
+}
+
+// TestAdmitUnknownUserLeavesNoFootprint: a rejected unknown-user Admit
+// must not register anything — a later Release of that job is a no-op
+// and the cluster budget is untouched.
+func TestAdmitUnknownUserLeavesNoFootprint(t *testing.T) {
+	a := NewAdmission(4)
+	g := gang("ghost", 1, 2)
+	g.User = "nobody"
+	dec, err := a.Admit(g)
+	if dec != Reject || err == nil {
+		t.Fatalf("unknown user: dec=%v err=%v", dec, err)
+	}
+	if a.Holds("ghost") || a.AdmittedGPUs() != 0 {
+		t.Fatal("rejected admit left a footprint")
+	}
+	a.Release("ghost") // must be harmless
+	if a.Usage("nobody") != 0 {
+		t.Fatalf("usage for unknown user = %d", a.Usage("nobody"))
+	}
+}
+
+// TestPreemptForVictimOrderingAndSufficiency: victims are free-tier
+// jobs first, then over-quota jobs newest-first, and the selected set
+// always frees at least the requested GPUs.
+func TestPreemptForVictimOrderingAndSufficiency(t *testing.T) {
+	a := NewAdmission(0)
+	a.SetQuota(UserQuota{User: "free1", Tier: TierFree, GPUs: 2})
+	a.SetQuota(UserQuota{User: "free2", Tier: TierFree, GPUs: 2})
+	a.SetQuota(UserQuota{User: "payA", Tier: TierPaid, GPUs: 4})
+	a.SetQuota(UserQuota{User: "payB", Tier: TierPaid, GPUs: 16})
+
+	admit := func(id, user string, learners, gpus int) {
+		t.Helper()
+		g := gang(id, learners, gpus)
+		g.User = user
+		if _, err := a.Admit(g); err != nil {
+			t.Fatalf("admit %s: %v", id, err)
+		}
+	}
+	admit("f1", "free1", 1, 2)     // free tier
+	admit("f2", "free2", 1, 2)     // free tier
+	admit("a-in", "payA", 2, 2)    // in quota, must survive
+	admit("a-over1", "payA", 1, 2) // over quota, older
+	admit("a-over2", "payA", 1, 2) // over quota, newer
+
+	need := 9 // forces free tier (4) + both over-quota jobs (4) = 8 < 9? no: 4+2+2=8 <9 -> nil
+	if v := a.PreemptFor("payB", need); v != nil {
+		t.Fatalf("unsatisfiable demand returned victims %v", v)
+	}
+	// All footprints must be intact after the failed attempt.
+	if a.Usage("free1") != 2 || a.Usage("payA") != 8 {
+		t.Fatalf("failed preemption mutated usage: free1=%d payA=%d",
+			a.Usage("free1"), a.Usage("payA"))
+	}
+
+	victims := a.PreemptFor("payB", 7)
+	if victims == nil {
+		t.Fatal("satisfiable preemption returned nil")
+	}
+	// Ordering: both free-tier jobs before any over-quota job, then the
+	// newest over-quota job first.
+	if len(victims) != 4 {
+		t.Fatalf("victims = %v, want 4 entries", victims)
+	}
+	freeFirst := map[string]bool{"f1": true, "f2": true}
+	if !freeFirst[victims[0]] || !freeFirst[victims[1]] {
+		t.Fatalf("free-tier jobs not preempted first: %v", victims)
+	}
+	if victims[2] != "a-over2" || victims[3] != "a-over1" {
+		t.Fatalf("over-quota jobs not newest-first: %v", victims)
+	}
+	// Sufficiency invariant, from the controller's own accounting:
+	// after preemption only a-in (4 GPUs) remains, so 8 ≥ 7 were freed.
+	if a.AdmittedGPUs() != 4 {
+		t.Fatalf("admitted after preemption = %d, want 4 (a-in only)", a.AdmittedGPUs())
+	}
+	if a.Usage("payA") != 4 {
+		t.Fatalf("in-quota job did not survive: payA usage = %d", a.Usage("payA"))
+	}
+	if got := a.Preemptions(); got != 4 {
+		t.Fatalf("preemption counter = %d, want 4", got)
+	}
+}
+
+// TestPreemptForFreesEnoughProperty: for arbitrary mixes of free-tier,
+// in-quota and over-quota jobs, a non-nil PreemptFor result always
+// frees at least the requested demand and never touches the
+// requester's own jobs.
+func TestPreemptForFreesEnoughProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a := NewAdmission(0)
+		users := []string{"freeA", "freeB", "paidA", "paidB"}
+		a.SetQuota(UserQuota{User: "freeA", Tier: TierFree, GPUs: 2})
+		a.SetQuota(UserQuota{User: "freeB", Tier: TierFree, GPUs: 2})
+		a.SetQuota(UserQuota{User: "paidA", Tier: TierPaid, GPUs: 6})
+		a.SetQuota(UserQuota{User: "paidB", Tier: TierPaid, GPUs: 6})
+		a.SetQuota(UserQuota{User: "claimant", Tier: TierPaid, GPUs: 64})
+		mine := map[string]int{}
+		jobs := 1 + rng.Intn(10)
+		for j := 0; j < jobs; j++ {
+			u := users[rng.Intn(len(users))]
+			id := fmt.Sprintf("t%d-j%d", trial, j)
+			g := gang(id, 1, 1+rng.Intn(4))
+			g.User = u
+			if _, err := a.Admit(g); err != nil {
+				t.Fatal(err)
+			}
+			mine[id] = g.GPUDemand()
+		}
+		before := a.AdmittedGPUs()
+		need := 1 + rng.Intn(12)
+		victims := a.PreemptFor("claimant", need)
+		if victims == nil {
+			continue // demand not satisfiable from preemptible jobs
+		}
+		freed := before - a.AdmittedGPUs()
+		if freed < need {
+			t.Fatalf("trial %d: freed %d < need %d (victims %v)", trial, freed, need, victims)
+		}
+		for _, id := range victims {
+			if _, ok := mine[id]; !ok {
+				t.Fatalf("trial %d: unknown victim %s", trial, id)
+			}
+		}
 	}
 }

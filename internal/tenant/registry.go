@@ -1,0 +1,119 @@
+package tenant
+
+import (
+	"fmt"
+
+	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/sched"
+)
+
+// Collection is the MongoDB collection tenant records live in. Like job
+// documents (§3.2), quotas are persisted before they take effect, so a
+// platform restart reconstructs the registry from the store.
+const Collection = "tenants"
+
+// Registry is the durable tenant store. Reads come from MongoDB; update
+// propagation rides the database's change feed (Watch), so every
+// process tailing the feed — each platform's dispatcher — observes a
+// quota write regardless of which API replica committed it, the same
+// multi-writer posture the status bus takes (docs/watch-protocol.md,
+// layer 3).
+type Registry struct {
+	db   *mongo.DB
+	coll *mongo.Collection
+}
+
+// NewRegistry opens (creating if needed) the tenants collection.
+func NewRegistry(db *mongo.DB) *Registry {
+	return &Registry{db: db, coll: db.C(Collection)}
+}
+
+// Put installs or updates a tenant record.
+func (r *Registry) Put(rec Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	return r.coll.Upsert(mongo.Filter{"_id": rec.User}, mongo.Update{
+		Set: mongo.Doc{
+			"user": rec.User,
+			"tier": int(rec.Tier),
+			"gpus": rec.GPUs,
+		},
+	})
+}
+
+// Get returns a tenant record.
+func (r *Registry) Get(user string) (Record, bool) {
+	doc, err := r.coll.FindOne(mongo.Filter{"_id": user})
+	if err != nil {
+		return Record{}, false
+	}
+	return docToRecord(doc)
+}
+
+// List returns all tenant records, user-sorted.
+func (r *Registry) List() []Record {
+	docs := r.coll.Find(mongo.Filter{}, mongo.FindOpts{SortBy: "_id"})
+	out := make([]Record, 0, len(docs))
+	for _, d := range docs {
+		if rec, ok := docToRecord(d); ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Watch opens a change stream over the tenants collection starting
+// after oplog sequence fromSeq. The consumer contract is the
+// mongo.ChangeStream one: strictly increasing Seq, full post-images,
+// visible gaps — recover by re-reading List().
+func (r *Registry) Watch(fromSeq uint64) *mongo.ChangeStream {
+	return r.db.Watch(Collection, fromSeq)
+}
+
+// Seq returns the database's current oplog position, the natural
+// fromSeq for a Watch that should only see future writes.
+func (r *Registry) Seq() uint64 { return r.db.OplogLen() }
+
+// Seed installs every stored quota into an admission controller — the
+// level-triggered re-read the dispatcher runs at boot and on each
+// resync tick.
+func (r *Registry) Seed(a *sched.Admission) {
+	for _, rec := range r.List() {
+		a.SetQuota(rec.Quota())
+	}
+}
+
+// docToRecord decodes a tenant document.
+func docToRecord(d mongo.Doc) (Record, bool) {
+	rec := Record{}
+	rec.User, _ = d["user"].(string)
+	if rec.User == "" {
+		rec.User, _ = d["_id"].(string)
+	}
+	if rec.User == "" {
+		return rec, false
+	}
+	switch v := d["tier"].(type) {
+	case int:
+		rec.Tier = sched.Tier(v)
+	case int64:
+		rec.Tier = sched.Tier(v)
+	case float64:
+		rec.Tier = sched.Tier(int(v))
+	}
+	switch v := d["gpus"].(type) {
+	case int:
+		rec.GPUs = v
+	case int64:
+		rec.GPUs = int(v)
+	case float64:
+		rec.GPUs = int(v)
+	}
+	return rec, true
+}
+
+// String renders a record for logs and CLI output.
+func (r Record) String() string {
+	return fmt.Sprintf("%s tier=%s gpus=%d", r.User, TierName(r.Tier), r.GPUs)
+}
