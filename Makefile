@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench-smoke sched-scale-smoke watch-churn-smoke tenant-smoke docs-check ci
+.PHONY: all fmt vet build test race bench-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke docs-check ci
 
 all: build
 
@@ -47,6 +47,13 @@ watch-churn-smoke:
 # (bench-tenant.json).
 tenant-smoke:
 	$(GO) run ./cmd/ffdl-bench -tenant -tenant-iters 2 -json bench-tenant.json
+
+# Small control-plane throughput run (submissions dispatched/sec +
+# etcd proposals/sec + mongo ops/sec, group commit vs the unbatched
+# ablation); emits the BENCH json artifact CI uploads
+# (bench-throughput.json) — the perf trajectory baseline.
+throughput-smoke:
+	$(GO) run ./cmd/ffdl-bench -throughput -tp-submitters 32 -tp-jobs 64 -json bench-throughput.json
 
 # Docs drift gate: README.md must mention every example, and
 # docs/architecture.md must cover every internal package, and the watch

@@ -11,6 +11,7 @@
 //	ffdl-bench -sched-scale -sched-nodes 1000,5000 -json bench.json
 //	ffdl-bench -watch-churn -churn-jobs 1000 -json bench-watch.json
 //	ffdl-bench -tenant -json bench-tenant.json
+//	ffdl-bench -throughput -tp-submitters 64 -json bench-throughput.json
 package main
 
 import (
@@ -42,7 +43,10 @@ func main() {
 		churnCycle = flag.Int("churn-cycles", 3, "chaos cycles for -watch-churn")
 		tenantExp  = flag.Bool("tenant", false, "run the multi-tenant experiment (queue delay + preemption, with vs without preemption)")
 		tenantIter = flag.Int("tenant-iters", 0, "training iterations per job for -tenant (0 = default)")
-		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant results as JSON to this file")
+		throughput = flag.Bool("throughput", false, "run the control-plane throughput experiment (batched vs unbatched-ablation etcd)")
+		tpSubs     = flag.Int("tp-submitters", 0, "concurrent submitters for -throughput (0 = default 64)")
+		tpJobs     = flag.Int("tp-jobs", 0, "total submissions for -throughput (0 = default 2x submitters)")
+		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant / -throughput results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +61,9 @@ func main() {
 	}
 	if *tenantExp {
 		payload["multi_tenant"] = runTenant(*tenantIter, *seed)
+	}
+	if *throughput {
+		payload["throughput"] = runThroughput(*tpSubs, *tpJobs, *seed)
 	}
 	if len(payload) > 0 {
 		writeJSON(*jsonOut, payload)
@@ -191,6 +198,22 @@ func runTenant(iters int, seed int64) []expt.MultiTenantResult {
 	}
 	results := []expt.MultiTenantResult{with, without}
 	fmt.Println(expt.RenderMultiTenant(results).String())
+	return results
+}
+
+// runThroughput runs the control-plane throughput pair (group commit +
+// pipelined replication vs the unbatched ablation), prints the table,
+// and returns the raw results for the BENCH json artifact.
+func runThroughput(submitters, jobs int, seed int64) []expt.ThroughputResult {
+	batched, unbatched, err := expt.ThroughputCompare(expt.ThroughputConfig{
+		Submitters: submitters, Jobs: jobs, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: throughput: %v\n", err)
+		os.Exit(1)
+	}
+	results := []expt.ThroughputResult{batched, unbatched}
+	fmt.Println(expt.RenderThroughput(results).String())
 	return results
 }
 

@@ -98,6 +98,11 @@ type Config struct {
 	// StorageBandwidth throttles the object store (bytes/sec aggregate);
 	// 0 = unthrottled.
 	StorageBandwidth float64
+
+	// EtcdUnbatched runs the coordination store with group commit and
+	// pipelined replication disabled (etcd.Options.UnbatchedAblation) —
+	// the throughput experiment's ablation arm. Leave false.
+	EtcdUnbatched bool
 }
 
 func (c *Config) defaults() {
@@ -231,6 +236,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		// resync tick, so it scales with the platform's poll interval
 		// (and stretches with it in long-virtual-horizon simulations).
 		WatchHealthInterval: cfg.PollInterval * 4,
+		UnbatchedAblation:   cfg.EtcdUnbatched,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: boot etcd: %w", err)

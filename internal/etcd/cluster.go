@@ -53,6 +53,13 @@ type Options struct {
 	// long-virtual-horizon simulations may stretch it freely. Defaults
 	// to TickInterval * 4.
 	WatchHealthInterval time.Duration
+	// UnbatchedAblation restores the seed's proposal hot path for the
+	// throughput ablation: one gob-encoded Raft entry per command and
+	// full-suffix append fan-out (LegacyReplication) instead of group
+	// commit + pipelined replication. Production configurations leave it
+	// false. Results, ordering and the watch contract are identical
+	// either way — only the per-operation cost differs.
+	UnbatchedAblation bool
 }
 
 func (o *Options) defaults() {
@@ -102,9 +109,29 @@ type Cluster struct {
 	waiters map[uint64]chan result
 	applied map[uint64]result // request dedup cache (mirrors leader's view)
 
-	// leaseCh wakes the lease-expiry loop when a Grant creates the
-	// first lease (buffered; non-blocking send).
+	// Group commit: propose() enqueues commands here and the batch loop
+	// drains the queue into one batch envelope per Raft entry, so K
+	// concurrent proposals cost one replication round instead of K.
+	batchMu sync.Mutex
+	batchQ  []*command
+	batchCh chan struct{} // signal, buffered(1)
+
+	// leaderSig is closed and replaced whenever any node gains or sheds
+	// leadership (or the topology changes): the event-driven wake for
+	// WaitLeader and the batch loop. A cluster with a stable leader
+	// holds no polling waiter.
+	leaderMu  sync.Mutex
+	leaderSig chan struct{}
+
+	// leaseCh wakes the lease-expiry loop when a lease grant is applied
+	// (buffered; non-blocking send). Armed from the apply path so the
+	// wake can never race ahead of the lease existing in any replica.
 	leaseCh chan struct{}
+
+	// Stats counters for the throughput experiment.
+	statCommands atomic.Uint64 // client commands proposed
+	statEntries  atomic.Uint64 // Raft entries proposed (batch envelopes)
+	statMaxBatch atomic.Uint64 // largest commands-per-entry batch seen
 
 	stopCh  chan struct{}
 	stopped atomic.Bool
@@ -131,6 +158,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		transport: newMemTransport(),
 		waiters:   make(map[uint64]chan result),
 		applied:   make(map[uint64]result),
+		batchCh:   make(chan struct{}, 1),
+		leaderSig: make(chan struct{}),
 		leaseCh:   make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 	}
@@ -146,6 +175,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 			SnapshotThreshold: opts.SnapshotThreshold,
 			Snapshot:          st.snapshot,
 			Restore:           func(data []byte, _ uint64) { st.restore(data) },
+			OnLeaderChange:    c.notifyLeadership,
+			LegacyReplication: opts.UnbatchedAblation,
 		}
 		n := newNode(cfg, c.transport, rng.Stream(int64(i)), c.applier(st))
 		c.nodes = append(c.nodes, n)
@@ -155,10 +186,14 @@ func NewCluster(opts Options) (*Cluster, error) {
 	for _, n := range c.nodes {
 		n.start(opts.TickInterval)
 	}
-	c.wg.Add(1)
+	c.wg.Add(2)
 	go func() {
 		defer c.wg.Done()
 		c.leaseExpiryLoop()
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.batchLoop()
 	}()
 	if _, err := c.WaitLeader(10 * time.Second); err != nil {
 		c.Stop()
@@ -168,28 +203,58 @@ func NewCluster(opts Options) (*Cluster, error) {
 }
 
 // applier builds the synchronous apply callback for one replica: decode
-// the committed command, apply it to this node's state replica (with
-// per-replica ReqID dedup so retried proposals never double-apply) and
-// complete any client waiter for the request.
+// the committed entry — either a single command or a group-commit batch
+// envelope — apply each command in order to this node's state replica
+// (with per-replica ReqID dedup so retried proposals never
+// double-apply) and complete the client waiter for each request. The
+// whole envelope lives in one Raft entry, so a batch is atomic with
+// respect to replication and snapshotting; sub-commands still apply
+// (and emit watch events) individually, at their own revisions.
 func (c *Cluster) applier(st *storeState) applyFunc {
 	return func(a Applied) {
 		var cmd command
 		if err := gob.NewDecoder(bytes.NewReader(a.Data)).Decode(&cmd); err != nil {
 			return
 		}
-		res := st.apply(&cmd)
-		c.mu.Lock()
-		if _, ok := c.applied[cmd.ReqID]; !ok {
-			c.applied[cmd.ReqID] = res
-		}
-		w := c.waiters[cmd.ReqID]
-		delete(c.waiters, cmd.ReqID)
-		c.mu.Unlock()
-		if w != nil {
-			select {
-			case w <- res:
-			default:
+		if cmd.Op == opBatch {
+			for i := range cmd.Batch {
+				c.applyOne(st, &cmd.Batch[i])
 			}
+		} else {
+			c.applyOne(st, &cmd)
+		}
+		// One apply barrier broadcast per entry (not per sub-command):
+		// wakes leaderState waiters for read-your-writes checks.
+		st.signalApply()
+	}
+}
+
+// applyOne applies a single command to one replica and fans the result
+// back to its waiter.
+func (c *Cluster) applyOne(st *storeState, cmd *command) {
+	res := st.apply(cmd)
+	if cmd.Op == opGrantLease && res.err == nil {
+		// Arm the expiry loop from the apply path: by the time the wake
+		// lands, the lease already exists in this replica's state, so
+		// the loop's anyLeases() re-check cannot race to a stale false
+		// and drop the only wake (the Grant-side arm used to run after
+		// propose returned, outside the apply ordering).
+		select {
+		case c.leaseCh <- struct{}{}:
+		default:
+		}
+	}
+	c.mu.Lock()
+	if _, ok := c.applied[cmd.ReqID]; !ok {
+		c.applied[cmd.ReqID] = res
+	}
+	w := c.waiters[cmd.ReqID]
+	delete(c.waiters, cmd.ReqID)
+	c.mu.Unlock()
+	if w != nil {
+		select {
+		case w <- res:
+		default:
 		}
 	}
 }
@@ -227,45 +292,243 @@ func (c *Cluster) leaseExpiryLoop() {
 	}
 }
 
-// leaderIndex returns the current leader's index or -1.
+// leaderIndex returns the current leader's index or -1. When a healed
+// partition briefly leaves two nodes claiming leadership, the one with
+// the higher term is the real leader — the deposed one just has not
+// heard the new term yet — so routing prefers it instead of bouncing
+// client traffic (and fault-injection tooling) off the stale claimant.
 func (c *Cluster) leaderIndex() int {
+	best, bestTerm := -1, uint64(0)
 	for i, n := range c.nodes {
-		if n.isLeader() && !c.transport.isIsolated(i) {
-			return i
+		if c.transport.isIsolated(i) {
+			continue
+		}
+		if ok, term := n.leaderTerm(); ok && (best < 0 || term > bestTerm) {
+			best, bestTerm = i, term
 		}
 	}
-	return -1
+	return best
 }
 
-// WaitLeader blocks until a leader is elected. The wait runs on the
-// configured Clock so simulated-clock runs stay deterministic (a
-// FakeClock needs its auto-advancer running).
+// notifyLeadership broadcasts a leadership / topology change to every
+// event-driven waiter (WaitLeader, the batch loop, leaderState).
+func (c *Cluster) notifyLeadership() {
+	c.leaderMu.Lock()
+	close(c.leaderSig)
+	c.leaderSig = make(chan struct{})
+	c.leaderMu.Unlock()
+}
+
+// leadershipSignal returns a channel that closes on the next leadership
+// or topology change. Capture it BEFORE checking leaderIndex so a
+// concurrent change cannot be missed.
+func (c *Cluster) leadershipSignal() <-chan struct{} {
+	c.leaderMu.Lock()
+	defer c.leaderMu.Unlock()
+	return c.leaderSig
+}
+
+// WaitLeader blocks until a leader is elected. Event-driven: the wait
+// parks on the leadership-change broadcast rather than poll-sleeping,
+// with an election-timeout-scale timer only as a safety net while
+// leaderless (a cluster with a stable leader holds no waiter at all).
+// Timers run on the configured Clock so simulated-clock runs stay
+// deterministic, but the broadcast wake is clock-independent: a real
+// election completing unsticks a stalled FakeClock waiter.
 func (c *Cluster) WaitLeader(timeout time.Duration) (int, error) {
 	clk := c.opts.Clock
 	deadline := clk.Now().Add(timeout)
-	for clk.Now().Before(deadline) {
+	for {
+		sig := c.leadershipSignal()
 		if li := c.leaderIndex(); li >= 0 {
 			return li, nil
 		}
-		clk.Sleep(c.opts.TickInterval)
+		if !clk.Now().Before(deadline) {
+			return -1, fmt.Errorf("etcd: no leader within %v", timeout)
+		}
+		t := clk.NewTimer(c.opts.TickInterval * electionTicksMax)
+		select {
+		case <-sig:
+		case <-t.C:
+			// Safety net: covers wake-free transitions such as an
+			// isolation heal racing this registration.
+		case <-c.stopCh:
+			t.Stop()
+			return -1, ErrStopped
+		}
+		t.Stop()
 	}
-	return -1, fmt.Errorf("etcd: no leader within %v", timeout)
 }
 
-// propose encodes, replicates and waits for a command to commit and
-// apply; it retries across leader changes using the same request ID so
-// the state machine applies it exactly once.
+// enqueue adds a command to the group-commit queue and signals the
+// batch loop.
+func (c *Cluster) enqueue(cmd *command) {
+	c.batchMu.Lock()
+	c.batchQ = append(c.batchQ, cmd)
+	c.batchMu.Unlock()
+	select {
+	case c.batchCh <- struct{}{}:
+	default:
+	}
+}
+
+// batchLoop drains the proposal queue: everything queued while the
+// previous Raft entry was being proposed is flushed as one batch
+// envelope, so the commands-per-entry ratio adapts to load (1 when
+// idle, large under bursts) with no added latency — there is no timer
+// holding a batch open.
+func (c *Cluster) batchLoop() {
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.batchCh:
+		}
+		for {
+			c.batchMu.Lock()
+			q := c.batchQ
+			c.batchQ = nil
+			c.batchMu.Unlock()
+			if len(q) == 0 {
+				break
+			}
+			c.flush(q)
+		}
+	}
+}
+
+// flush encodes one drained queue into a single Raft entry — the
+// command itself for a batch of one, a batch envelope otherwise — and
+// proposes it to the leader.
+func (c *Cluster) flush(q []*command) {
+	for n := uint64(len(q)); ; {
+		cur := c.statMaxBatch.Load()
+		if n <= cur || c.statMaxBatch.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	var buf bytes.Buffer
+	if len(q) == 1 {
+		if err := gob.NewEncoder(&buf).Encode(q[0]); err != nil {
+			c.failWaiter(q[0].ReqID, fmt.Errorf("etcd: encode command: %w", err))
+			return
+		}
+	} else {
+		env := command{Op: opBatch, Batch: make([]command, len(q))}
+		for i, cmd := range q {
+			env.Batch[i] = *cmd
+		}
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			// A poison command must not take the batch down with it (or
+			// keep re-landing in subsequent batches): re-encode each
+			// command alone, fail exactly the unencodable ones, and
+			// propose the rest as their own entries.
+			for _, cmd := range q {
+				var one bytes.Buffer
+				if err := gob.NewEncoder(&one).Encode(cmd); err != nil {
+					c.failWaiter(cmd.ReqID, fmt.Errorf("etcd: encode command: %w", err))
+					continue
+				}
+				c.proposeEntry(one.Bytes())
+			}
+			return
+		}
+	}
+	c.proposeEntry(buf.Bytes())
+}
+
+// failWaiter completes a proposal's waiter with a terminal error and
+// caches it so a raced re-enqueue check sees the same outcome.
+func (c *Cluster) failWaiter(reqID uint64, err error) {
+	res := result{err: err}
+	c.mu.Lock()
+	if _, ok := c.applied[reqID]; !ok {
+		c.applied[reqID] = res
+	}
+	w := c.waiters[reqID]
+	delete(c.waiters, reqID)
+	c.mu.Unlock()
+	if w != nil {
+		select {
+		case w <- res:
+		default:
+		}
+	}
+}
+
+// proposeEntry hands one encoded entry to the current leader, parking
+// on the leadership broadcast while no leader is reachable, then waits
+// for the entry to apply (the group-commit pacing: commands arriving
+// during the replication round accumulate into the next batch). Giving
+// up (deadline or stop) is safe: every waiter re-enqueues its own
+// command until its ProposalTimeout, and ReqID dedup keeps re-proposals
+// exactly-once.
+func (c *Cluster) proposeEntry(data []byte) {
+	clk := c.opts.Clock
+	deadline := clk.Now().Add(c.opts.ProposalTimeout)
+	for {
+		sig := c.leadershipSignal()
+		if li := c.leaderIndex(); li >= 0 {
+			if idx, _, err := c.nodes[li].Propose(data); err == nil {
+				c.statEntries.Add(1)
+				c.awaitApplied(li, idx, deadline)
+				return
+			}
+		}
+		if clk.Now().After(deadline) {
+			return
+		}
+		t := clk.NewTimer(c.opts.TickInterval * electionTicksMax)
+		select {
+		case <-sig:
+		case <-t.C:
+		case <-c.stopCh:
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// awaitApplied parks on the proposing replica's apply barrier until it
+// has applied through idx — the single-in-flight-entry window that
+// makes group commit actually group: without it the batch loop drains
+// the queue faster than proposals arrive and every entry carries one
+// command. Bails on leadership movement or the deadline; command-level
+// retry (propose's re-enqueue) owns correctness.
+func (c *Cluster) awaitApplied(li int, idx uint64, deadline time.Time) {
+	clk := c.opts.Clock
+	st := c.states[li]
+	for {
+		sig := st.applyBarrier()
+		if c.nodes[li].appliedAtLeast(idx) {
+			return
+		}
+		if c.leaderIndex() != li || clk.Now().After(deadline) {
+			return
+		}
+		// Safety-net timer only: the apply barrier is the wake path.
+		t := clk.NewTimer(c.opts.TickInterval * 2)
+		select {
+		case <-sig:
+		case <-t.C:
+		case <-c.stopCh:
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// propose submits a command for group commit and waits for it to apply;
+// it retries across leader changes by re-enqueueing under the same
+// request ID so the state machine applies it exactly once.
 func (c *Cluster) propose(cmd *command) (result, error) {
 	if c.stopped.Load() {
 		return result{}, ErrStopped
 	}
 	cmd.ReqID = c.reqSeq.Add(1)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cmd); err != nil {
-		return result{}, fmt.Errorf("etcd: encode command: %w", err)
-	}
-	data := buf.Bytes()
-
+	c.statCommands.Add(1)
 	ch := make(chan result, 1)
 	c.mu.Lock()
 	c.waiters[cmd.ReqID] = ch
@@ -275,29 +538,72 @@ func (c *Cluster) propose(cmd *command) (result, error) {
 		delete(c.waiters, cmd.ReqID)
 		c.mu.Unlock()
 	}()
+	if c.opts.UnbatchedAblation {
+		return c.proposeDirect(cmd, ch)
+	}
+	c.enqueue(cmd)
 
+	clk := c.opts.Clock
+	deadline := clk.Now().Add(c.opts.ProposalTimeout)
+	for {
+		// Wait for apply. A stoppable timer (not After) so a FakeClock
+		// holds no stale waiters that would drag its auto-advancer
+		// forward; the result arrives through ch independently of the
+		// clock.
+		t := clk.NewTimer(20 * c.opts.TickInterval)
+		select {
+		case res := <-ch:
+			t.Stop()
+			c.noteRev(res.rev)
+			return res, res.err
+		case <-t.C:
+			// Check for dedup-applied result (another replica applied
+			// and the waiter raced), then re-enqueue: leadership may
+			// have moved before commit.
+		case <-c.stopCh:
+			t.Stop()
+			return result{}, ErrStopped
+		}
+		c.mu.Lock()
+		res, done := c.applied[cmd.ReqID]
+		c.mu.Unlock()
+		if done {
+			c.noteRev(res.rev)
+			return res, res.err
+		}
+		if clk.Now().After(deadline) {
+			return result{}, ErrTimeout
+		}
+		c.enqueue(cmd)
+	}
+}
+
+// proposeDirect is the seed's proposal hot path, kept verbatim for the
+// unbatched ablation: every caller gob-encodes its own command as its
+// own Raft entry and proposes it directly, so concurrent callers
+// overlap replication rounds exactly as they did before group commit
+// (no queue, no pacing). Exactly-once still holds via ReqID dedup.
+func (c *Cluster) proposeDirect(cmd *command, ch chan result) (result, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cmd); err != nil {
+		return result{}, fmt.Errorf("etcd: encode command: %w", err)
+	}
+	data := buf.Bytes()
 	clk := c.opts.Clock
 	deadline := clk.Now().Add(c.opts.ProposalTimeout)
 	for {
 		li := c.leaderIndex()
 		if li >= 0 {
 			if _, _, err := c.nodes[li].Propose(data); err == nil {
-				// Wait for apply, but re-propose if leadership moves
-				// before commit. A stoppable timer (not After) so a
-				// FakeClock holds no stale waiters that would drag its
-				// auto-advancer forward.
+				c.statEntries.Add(1)
 				t := clk.NewTimer(20 * c.opts.TickInterval)
 				select {
 				case res := <-ch:
 					t.Stop()
 					c.noteRev(res.rev)
-					if res.err != nil {
-						return res, res.err
-					}
-					return res, nil
+					return res, res.err
 				case <-t.C:
-					// Check for dedup-applied result (another replica
-					// applied and the waiter raced).
+					// Re-propose if leadership moved before commit.
 				case <-c.stopCh:
 					t.Stop()
 					return result{}, ErrStopped
@@ -322,6 +628,11 @@ func (c *Cluster) propose(cmd *command) (result, error) {
 // EventExpire rather than EventDelete).
 const opExpireLease cmdOp = 99
 
+// opBatch marks a group-commit envelope: command.Batch carries the
+// drained proposal queue, replicated as one Raft entry and applied
+// in order.
+const opBatch cmdOp = 98
+
 // Put stores value under key, optionally bound to a lease.
 func (c *Cluster) Put(key string, value []byte, lease int64) (uint64, error) {
 	res, err := c.propose(&command{Op: opPut, Key: key, Value: value, Lease: lease})
@@ -342,16 +653,11 @@ func (c *Cluster) DeletePrefix(prefix string) (bool, error) {
 	return res.ok, err
 }
 
-// Grant creates a lease with the given TTL.
+// Grant creates a lease with the given TTL. The expiry loop (which
+// holds no timer while lease-free) is armed from the apply path, not
+// here: see applyOne.
 func (c *Cluster) Grant(ttl time.Duration) (int64, error) {
 	res, err := c.propose(&command{Op: opGrantLease, TTL: ttl})
-	if err == nil {
-		// Arm the expiry loop (it holds no timer while lease-free).
-		select {
-		case c.leaseCh <- struct{}{}:
-		default:
-		}
-	}
 	return res.leaseID, err
 }
 
@@ -411,7 +717,10 @@ func (c *Cluster) noteRev(rev uint64) {
 // revision previously acknowledged to a client. A proposal is
 // acknowledged as soon as *some* replica applies it; waiting here closes
 // the window in which the leader's own apply loop lags, guaranteeing
-// read-your-writes for Get/List/Watch registration.
+// read-your-writes for Get/List/Watch registration. Event-driven: the
+// wait parks on the replica's apply barrier (one broadcast per applied
+// entry) instead of poll-sleeping; a caught-up leader returns without
+// arming any timer.
 func (c *Cluster) leaderState() (*storeState, error) {
 	li := c.leaderIndex()
 	if li < 0 {
@@ -425,26 +734,46 @@ func (c *Cluster) leaderState() (*storeState, error) {
 	want := c.lastRev.Load()
 	clk := c.opts.Clock
 	deadline := clk.Now().Add(c.opts.ProposalTimeout)
-	for st.revision() < want {
+	for {
+		sig := st.applyBarrier()
+		if st.revision() >= want {
+			return st, nil
+		}
 		if clk.Now().After(deadline) {
 			return nil, ErrTimeout
 		}
-		clk.Sleep(c.opts.TickInterval / 2)
-		// Leadership may move while we wait.
+		// The timer is a safety net for leadership moving mid-wait (the
+		// new leader's applies would not signal this replica's barrier).
+		t := clk.NewTimer(c.opts.TickInterval * 2)
+		select {
+		case <-sig:
+		case <-t.C:
+		case <-c.stopCh:
+			t.Stop()
+			return nil, ErrStopped
+		}
+		t.Stop()
 		if li2 := c.leaderIndex(); li2 >= 0 && li2 != li {
 			li = li2
 			st = c.states[li]
 		}
 	}
-	return st, nil
 }
 
 // Isolate cuts a node off from the cluster (on=true), modeling a crash or
 // partition; on=false heals it and the node catches up via replication.
-func (c *Cluster) Isolate(id int, on bool) { c.transport.Isolate(id, on) }
+// Counts as a topology change for the leadership broadcast: healing can
+// make an existing leader reachable again without any role transition.
+func (c *Cluster) Isolate(id int, on bool) {
+	c.transport.Isolate(id, on)
+	c.notifyLeadership()
+}
 
 // CutLink severs or heals the link between two members.
-func (c *Cluster) CutLink(a, b int, on bool) { c.transport.CutLink(a, b, on) }
+func (c *Cluster) CutLink(a, b int, on bool) {
+	c.transport.CutLink(a, b, on)
+	c.notifyLeadership()
+}
 
 // Leader returns the current leader id, or -1.
 func (c *Cluster) Leader() int { return c.leaderIndex() }
@@ -462,6 +791,40 @@ func (c *Cluster) SnapshotRestores() uint64 {
 
 // Replicas returns the cluster size.
 func (c *Cluster) Replicas() int { return len(c.nodes) }
+
+// ClusterStats reports proposal and replication traffic totals since
+// boot — the throughput experiment's batching-efficacy accounting.
+type ClusterStats struct {
+	// Commands is the number of client commands proposed.
+	Commands uint64
+	// Entries is the number of Raft entries those commands were packed
+	// into (batch envelopes count once). Commands/Entries is the group
+	// commit ratio; 1.0 means no batching happened (or the ablation).
+	Entries uint64
+	// MaxBatch is the largest commands-per-entry batch observed.
+	MaxBatch uint64
+	// AppendsSent / EntriesSent are append+snapshot messages and log
+	// entries shipped across all nodes. Pipelined replication keeps
+	// EntriesSent near Entries×(replicas-1); the legacy full-suffix
+	// resend inflates it quadratically under concurrency.
+	AppendsSent uint64
+	EntriesSent uint64
+}
+
+// Stats returns the cluster's traffic counters.
+func (c *Cluster) Stats() ClusterStats {
+	s := ClusterStats{
+		Commands: c.statCommands.Load(),
+		Entries:  c.statEntries.Load(),
+		MaxBatch: c.statMaxBatch.Load(),
+	}
+	for _, n := range c.nodes {
+		m, e := n.trafficStats()
+		s.AppendsSent += m
+		s.EntriesSent += e
+	}
+	return s
+}
 
 // StateEqual reports whether two replicas hold identical KV maps; used by
 // invariant tests.

@@ -125,6 +125,18 @@ type Config struct {
 	// SnapshotThreshold > 0 entries will ever be exceeded.
 	Snapshot func() []byte
 	Restore  func(data []byte, index uint64)
+	// OnLeaderChange, when non-nil, is invoked (with the node lock held)
+	// whenever this node gains or sheds leadership. The Cluster uses it
+	// to wake WaitLeader/propose waiters instead of having them poll.
+	// The callback must not call back into the node.
+	OnLeaderChange func()
+	// LegacyReplication restores the seed's append-fanout behaviour:
+	// every broadcast re-sends the full log suffix from nextIndex to
+	// each peer, so K in-flight proposals cost O(K×peers) messages with
+	// O(K²) entry copying. Kept for the throughput ablation; production
+	// configurations leave it false and get pipelined replication (only
+	// the unsent suffix ships, tracked per peer by sentIndex).
+	LegacyReplication bool
 }
 
 // node is a single Raft server.
@@ -151,8 +163,19 @@ type node struct {
 	// Leader state.
 	nextIndex  map[int]uint64
 	matchIndex map[int]uint64
+	// sentIndex is the replication pipeline frontier: the highest log
+	// index optimistically shipped to each peer. Appends send only
+	// (sentIndex, lastIndex]; a rejection or a heartbeat probe that
+	// fails resets it to nextIndex-1 and re-ships. Ignored under
+	// LegacyReplication.
+	sentIndex map[int]uint64
 
 	votes map[int]bool
+
+	// Replication traffic counters (under mu), exposed via Cluster.Stats
+	// for the throughput experiment.
+	msgsSent    uint64
+	entriesSent uint64
 
 	transport Transport
 	applyFn   applyFunc
@@ -166,6 +189,8 @@ type node struct {
 	snapshotThreshold int
 	snapshotFn        func() []byte
 	restoreFn         func([]byte, uint64)
+	onLeaderChange    func()
+	legacyReplication bool
 
 	stopped bool
 	stopCh  chan struct{}
@@ -193,9 +218,12 @@ func newNode(cfg Config, transport Transport, rng interface{ Intn(int) int }, ap
 		rng:               rng,
 		nextIndex:         make(map[int]uint64),
 		matchIndex:        make(map[int]uint64),
+		sentIndex:         make(map[int]uint64),
 		snapshotThreshold: cfg.SnapshotThreshold,
 		snapshotFn:        cfg.Snapshot,
 		restoreFn:         cfg.Restore,
+		onLeaderChange:    cfg.OnLeaderChange,
+		legacyReplication: cfg.LegacyReplication,
 		stopCh:            make(chan struct{}),
 		leaderHint:        -1,
 	}
@@ -340,15 +368,20 @@ func (n *node) becomeLeaderLocked() {
 	for _, p := range n.peers {
 		n.nextIndex[p] = n.lastIndex() + 1
 		n.matchIndex[p] = 0
+		n.sentIndex[p] = n.lastIndex()
 	}
 	n.matchIndex[n.id] = n.lastIndex()
 	// Raft requires committing a no-op from the current term before the
 	// leader can safely commit earlier-term entries.
 	n.appendLocked(nil)
 	n.broadcastAppendLocked()
+	if n.onLeaderChange != nil {
+		n.onLeaderChange()
+	}
 }
 
 func (n *node) becomeFollowerLocked(term uint64, leaderID int) {
+	wasLeader := n.role == leader
 	n.role = follower
 	n.currentTerm = term
 	n.votedFor = -1
@@ -356,6 +389,9 @@ func (n *node) becomeFollowerLocked(term uint64, leaderID int) {
 		n.leaderHint = leaderID
 	}
 	n.resetElectionTimeout()
+	if wasLeader && n.onLeaderChange != nil {
+		n.onLeaderChange()
+	}
 }
 
 // appendLocked appends a command to the leader's log and returns its index.
@@ -403,23 +439,58 @@ func (n *node) broadcastAppendLocked() {
 	}
 }
 
+// sendFrom computes the first index the next append to a peer should
+// carry: nextIndex under legacy replication, else the pipeline frontier
+// (everything up to sentIndex is already in flight and is not re-sent).
+func (n *node) sendFrom(to int) uint64 {
+	from := n.nextIndex[to]
+	if !n.legacyReplication {
+		if s := n.sentIndex[to] + 1; s > from {
+			from = s
+		}
+	}
+	if last := n.lastIndex(); from > last+1 {
+		from = last + 1
+	}
+	return from
+}
+
 func (n *node) sendAppendLocked(to int) {
-	next := n.nextIndex[to]
-	if next <= n.snapIndex {
+	if n.nextIndex[to] <= n.snapIndex {
 		// Follower is too far behind: ship the snapshot.
 		n.transport.Send(&Message{
 			Kind: MsgSnapshot, From: n.id, To: to, Term: n.currentTerm,
 			SnapshotData: n.snapData, SnapshotIndex: n.snapIndex, SnapshotTerm: n.snapTerm,
 		})
+		n.msgsSent++
+		if n.sentIndex[to] < n.snapIndex {
+			n.sentIndex[to] = n.snapIndex
+		}
 		return
 	}
-	prevIdx := next - 1
-	prevTerm, _ := n.termAt(prevIdx)
+	from := n.sendFrom(to)
+	prevIdx := from - 1
+	prevTerm, ok := n.termAt(prevIdx)
+	if !ok {
+		// Frontier compacted away since the last send: fall back to the
+		// snapshot path on the next heartbeat.
+		n.sentIndex[to] = n.snapIndex
+		return
+	}
+	entries := n.entriesFrom(from)
+	// An empty append doubles as heartbeat and as a probe of the
+	// pipeline frontier: if an in-flight append was lost, the follower
+	// rejects prevIdx and the leader backs up and re-ships.
 	n.transport.Send(&Message{
 		Kind: MsgAppend, From: n.id, To: to, Term: n.currentTerm,
 		PrevLogIndex: prevIdx, PrevLogTerm: prevTerm,
-		Entries: n.entriesFrom(next), LeaderCommit: n.commitIndex,
+		Entries: entries, LeaderCommit: n.commitIndex,
 	})
+	n.msgsSent++
+	n.entriesSent += uint64(len(entries))
+	if last := n.lastIndex(); n.sentIndex[to] < last {
+		n.sentIndex[to] = last
+	}
 }
 
 // Step processes an incoming message.
@@ -549,19 +620,24 @@ func (n *node) handleAppendResponseLocked(m *Message) {
 			n.matchIndex[m.From] = m.MatchIndex
 		}
 		n.nextIndex[m.From] = n.matchIndex[m.From] + 1
+		if n.sentIndex[m.From] < n.matchIndex[m.From] {
+			n.sentIndex[m.From] = n.matchIndex[m.From]
+		}
 		n.maybeCommitLocked()
-		if n.nextIndex[m.From] <= n.lastIndex() {
+		if n.sendFrom(m.From) <= n.lastIndex() {
 			n.sendAppendLocked(m.From)
 		}
 		return
 	}
-	// Rejected: back up nextIndex and retry.
+	// Rejected: back up nextIndex, rewind the pipeline frontier to it,
+	// and re-ship the suffix.
 	next := n.nextIndex[m.From]
 	if m.ConflictHint > 0 && m.ConflictHint < next {
 		n.nextIndex[m.From] = m.ConflictHint
 	} else if next > 1 {
 		n.nextIndex[m.From] = next - 1
 	}
+	n.sentIndex[m.From] = n.nextIndex[m.From] - 1
 	n.sendAppendLocked(m.From)
 }
 
@@ -660,6 +736,30 @@ func (n *node) isLeader() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.role == leader
+}
+
+// leaderTerm reports whether this node claims leadership, and at what
+// term — the tiebreaker between a real leader and a healed stale one.
+func (n *node) leaderTerm() (bool, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == leader, n.currentTerm
+}
+
+// trafficStats returns the append/snapshot messages and log entries this
+// node has shipped, for the throughput experiment's fan-out accounting.
+func (n *node) trafficStats() (msgs, entries uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgsSent, n.entriesSent
+}
+
+// appliedAtLeast reports whether this node's state machine has applied
+// through idx — the group-commit pacing check.
+func (n *node) appliedAtLeast(idx uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastApplied >= idx
 }
 
 func min64(a, b uint64) uint64 {

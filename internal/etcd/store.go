@@ -71,6 +71,10 @@ type command struct {
 	CmpRev    uint64 // txn: expected ModRevision (0 = must not exist)
 	ReqID     uint64 // for client response matching
 	RequestBy int    // proposing node
+	// Batch is the group-commit envelope payload (Op == opBatch): the
+	// commands drained from the proposal queue, applied in order as one
+	// atomically-replicated Raft entry.
+	Batch []command
 }
 
 type cmdOp int
@@ -129,6 +133,11 @@ type storeState struct {
 	// restores counts snapshot restores applied to this replica, for the
 	// watch-churn experiment's resyncs-per-restore metric.
 	restores uint64
+
+	// applySig is closed and replaced after each applied Raft entry —
+	// the event-driven barrier leaderState parks on instead of
+	// poll-sleeping while the replica catches up to acknowledged writes.
+	applySig chan struct{}
 }
 
 // watcher receives events for a key or prefix.
@@ -154,7 +163,26 @@ func newStoreState(now func() time.Time, histCap, compactRevs int, persistHist b
 		histCap:     histCap,
 		compactRevs: compactRevs,
 		persistHist: persistHist,
+		applySig:    make(chan struct{}),
 	}
+}
+
+// applyBarrier returns a channel that closes after the next applied
+// entry. Capture it BEFORE checking revision() so a concurrent apply
+// cannot be missed.
+func (s *storeState) applyBarrier() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applySig
+}
+
+// signalApply broadcasts that an entry (possibly a whole batch) has
+// been applied to this replica.
+func (s *storeState) signalApply() {
+	s.mu.Lock()
+	close(s.applySig)
+	s.applySig = make(chan struct{})
+	s.mu.Unlock()
 }
 
 // apply executes a replicated command; deterministic across replicas.
@@ -349,9 +377,20 @@ func (s *storeState) compactHistLocked() {
 			cut++
 		}
 	}
-	if cut > 0 {
-		s.hist = append([]Event(nil), s.hist[cut:]...)
+	if cut == 0 {
+		return
 	}
+	if 2*cut >= len(s.hist) {
+		// Big trim: reallocate so the dead prefix is released.
+		s.hist = append([]Event(nil), s.hist[cut:]...)
+		return
+	}
+	// Steady-state trim (one event in, one out): advance the slice
+	// header instead of copying the whole window — append reallocates
+	// (and releases the dead prefix) once the backing array's spare
+	// capacity runs out, so the cost is amortized O(1) per event rather
+	// than O(histCap), and memory stays bounded by ~2× the window.
+	s.hist = s.hist[cut:]
 }
 
 // overflowOf reports and clears a watcher's overflow flag.

@@ -136,7 +136,7 @@ func NewCluster(cfg Config) *Cluster {
 	kubeletWatch := c.store.Watch(KindPod)
 	c.loopWG.Add(4)
 	go func() { defer c.loopWG.Done(); defer schedWatch.Cancel(); c.schedulerLoop(schedWatch) }()
-	go func() { defer c.loopWG.Done(); defer ctrlWatch.Cancel(); c.controllerLoop(ctrlWatch.Events()) }()
+	go func() { defer c.loopWG.Done(); defer ctrlWatch.Cancel(); c.controllerLoop(ctrlWatch) }()
 	go func() { defer c.loopWG.Done(); c.nodeControllerLoop() }()
 	go func() { defer c.loopWG.Done(); defer kubeletWatch.Cancel(); c.kubeletStartLoop(kubeletWatch.Events()) }()
 	return c

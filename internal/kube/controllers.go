@@ -9,48 +9,103 @@ import (
 )
 
 // controllerLoop reconciles StatefulSets, Deployments and Jobs
-// level-triggered: on every watch event and on a resync tick it drives
-// actual pods toward the declared state. This is what restarts crashed
-// learners (stateful sets), helper pods (deployments) and Guardians
-// (jobs) automatically — the recovery machinery Table 3 measures.
-func (c *Cluster) controllerLoop(events <-chan WatchEvent) {
+// level-triggered: watch events mark exactly the owner objects they
+// touch dirty and only those are reconciled (an owner-change event
+// dirties the owner itself; a pod termination/deletion dirties the
+// pod's owner), so reconcile work scales with churn, not with the
+// number of objects in the cluster. The resync tick — and any wake
+// whose watcher dropped events, which may have dirtied owners never
+// seen — falls back to a full reconcileAll pass (which also
+// garbage-collects orphans), the same conditional-rebuild treatment
+// the scheduler got in PR 3. This is what restarts crashed learners
+// (stateful sets), helper pods (deployments) and Guardians (jobs)
+// automatically — the recovery machinery Table 3 measures.
+func (c *Cluster) controllerLoop(watch *StoreWatch) {
+	events := watch.Events()
 	ticker := c.cfg.Clock.NewTicker(c.cfg.ResyncInterval)
 	defer ticker.Stop()
 	for {
-		wake := false
+		dirty := make(map[ownerKey]struct{})
+		full := false
 		select {
 		case <-c.stopCh:
 			return
 		case ev := <-events:
-			wake = controllerRelevant(ev)
+			controllerMark(ev, dirty)
 			sim.Coalesce(events, func(ev WatchEvent) { // coalesce event bursts
-				wake = wake || controllerRelevant(ev)
+				controllerMark(ev, dirty)
 			})
 		case <-ticker.C:
-			wake = true // resync safety net (also garbage-collects)
+			full = true // resync safety net (also garbage-collects)
 		}
-		if wake {
+		if watch.TakeDropped() > 0 {
+			full = true
+		}
+		if full {
 			c.reconcileAll()
+		} else if len(dirty) > 0 {
+			c.reconcileDirty(dirty)
 		}
 	}
 }
 
-// controllerRelevant filters the store's event stream down to changes a
-// reconcile pass can act on: owner-object changes and pod terminations/
-// deletions. Node heartbeats and pod phase progress would otherwise make
-// every reconcile loop spin at the heartbeat rate.
-func controllerRelevant(ev WatchEvent) bool {
+// ownerKey identifies one controller-owned object to reconcile.
+type ownerKey struct {
+	kind string
+	name string
+}
+
+// controllerMark folds one watch event into the dirty-owner set:
+// owner-object changes dirty that owner, pod terminations/deletions
+// dirty the pod's owner. Node heartbeats and pod phase progress mark
+// nothing — they would otherwise make the loop reconcile at the
+// heartbeat rate.
+func controllerMark(ev WatchEvent, dirty map[ownerKey]struct{}) {
 	switch ev.Kind {
 	case KindStatefulSet, KindDeployment, KindJob:
-		return true
+		dirty[ownerKey{ev.Kind, ev.Name}] = struct{}{}
 	case KindPod:
-		if ev.Type == WatchDeleted {
-			return true
+		obj := ev.Object
+		if obj == nil {
+			obj = ev.Prev // deletes carry only the pre-image
 		}
-		p, ok := ev.Object.(*Pod)
-		return ok && p.Terminated()
-	default:
-		return false
+		p, ok := obj.(*Pod)
+		if !ok {
+			return
+		}
+		if ev.Type != WatchDeleted && !p.Terminated() {
+			return
+		}
+		switch p.Owner.Kind {
+		case KindStatefulSet, KindDeployment, KindJob:
+			dirty[ownerKey{p.Owner.Kind, p.Owner.Name}] = struct{}{}
+		}
+	}
+}
+
+// reconcileDirty reconciles exactly the dirtied owners. A dirty owner
+// that no longer exists gets the event-path form of orphan collection:
+// cascade-delete its pods (pod names are owner-prefixed, so the
+// listing is per-owner, not cluster-wide).
+func (c *Cluster) reconcileDirty(dirty map[ownerKey]struct{}) {
+	for k := range dirty {
+		obj, ok := c.store.Get(k.kind, k.name)
+		if !ok {
+			for _, p := range c.store.ListPods(k.name + "-") {
+				if p.Owner.Kind == k.kind && p.Owner.Name == k.name {
+					c.DeletePod(p.Name, "OwnerDeleted")
+				}
+			}
+			continue
+		}
+		switch o := obj.(type) {
+		case *StatefulSet:
+			c.reconcileStatefulSet(o)
+		case *Deployment:
+			c.reconcileDeployment(o)
+		case *Job:
+			c.reconcileJob(o)
+		}
 	}
 }
 

@@ -17,10 +17,40 @@ import (
 
 // Doc is a BSON-like document. Values should be gob-friendly primitives,
 // nested Docs, or slices thereof.
+//
+// # Copy-on-write semantics
+//
+// Documents handed out by reads (Find, FindOne, change-stream events,
+// oplog replication) are copy-on-write views: the top-level map is a
+// private copy, but nested documents and slices are SHARED with the
+// store. The mutation rules callers must follow:
+//
+//   - Top-level fields of a returned Doc may be freely assigned.
+//   - Nested values (anything below the top level) are read-only; a
+//     caller that needs to mutate them must DeepClone the Doc first.
+//   - All store-side mutations go through Update, which path-copies
+//     every nested container it touches, so a view taken before an
+//     update never observes it.
+//
+// This is what makes reads O(top-level fields) instead of O(document):
+// a job document dragging a 10k-entry status history clones in constant
+// time. See docs/architecture.md ("Throughput & batching").
 type Doc map[string]any
 
-// Clone deep-copies a document so callers cannot mutate stored state.
+// Clone returns a copy-on-write view of the document: a fresh top-level
+// map sharing nested values with the original. See the Doc mutation
+// rules; use DeepClone before mutating nested state.
 func (d Doc) Clone() Doc {
+	out := make(Doc, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+// DeepClone fully copies the document, including nested documents and
+// slices, yielding a view the caller may mutate arbitrarily.
+func (d Doc) DeepClone() Doc {
 	out := make(Doc, len(d))
 	for k, v := range d {
 		out[k] = cloneValue(v)
@@ -31,9 +61,9 @@ func (d Doc) Clone() Doc {
 func cloneValue(v any) any {
 	switch x := v.(type) {
 	case Doc:
-		return x.Clone()
+		return x.DeepClone()
 	case map[string]any:
-		return Doc(x).Clone()
+		return Doc(x).DeepClone()
 	case []any:
 		out := make([]any, len(x))
 		for i, e := range x {
@@ -51,7 +81,12 @@ func cloneValue(v any) any {
 
 // lookupPath resolves a dotted field path ("status.phase").
 func lookupPath(d Doc, path string) (any, bool) {
-	parts := strings.Split(path, ".")
+	return lookupParts(d, strings.Split(path, "."))
+}
+
+// lookupParts resolves a pre-split field path — the allocation-free
+// form for hot loops (sort comparators call it O(n log n) times).
+func lookupParts(d Doc, parts []string) (any, bool) {
 	var cur any = d
 	for _, p := range parts {
 		m, ok := asDoc(cur)
@@ -87,6 +122,28 @@ func setPath(d Doc, path string, value any) {
 			next = Doc{}
 			cur[p] = next
 		}
+		cur = next
+	}
+	cur[parts[len(parts)-1]] = value
+}
+
+// setPathCOW writes a dotted field path like setPath, but path-copies
+// every intermediate document it descends through. Stored documents
+// share nested containers with copy-on-write reader views, so an
+// in-place write below the top level would leak into views taken
+// before the update; copying the spine keeps those views immutable.
+// Only the path is copied — siblings stay shared.
+func setPathCOW(d Doc, path string, value any) {
+	parts := strings.Split(path, ".")
+	cur := d
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := asDoc(cur[p])
+		if !ok {
+			next = Doc{}
+		} else {
+			next = next.Clone()
+		}
+		cur[p] = next
 		cur = next
 	}
 	cur[parts[len(parts)-1]] = value
@@ -282,19 +339,30 @@ type Update struct {
 	Unset []string
 }
 
+// apply mutates d under the store's copy-on-write discipline: d's
+// top-level map is private to the store, but nested containers may be
+// shared with reader views, so every write below the top level goes
+// through setPathCOW.
+//
+// Push deliberately appends WITHOUT copying the array: versions of a
+// stored document form a linear history (writes are serialized per
+// collection), so the append writes at an index beyond the length of
+// every previously handed-out view — invisible to all of them. This is
+// what makes a status-history append O(1) amortized instead of
+// O(history).
 func (u Update) apply(d Doc) {
 	for k, v := range u.Set {
-		setPath(d, k, cloneValue(v))
+		setPathCOW(d, k, cloneValue(v))
 	}
 	for k, delta := range u.Inc {
 		cur, _ := lookupPath(d, k)
 		f, _ := toFloat(cur)
-		setPath(d, k, f+delta)
+		setPathCOW(d, k, f+delta)
 	}
 	for k, v := range u.Push {
 		cur, _ := lookupPath(d, k)
 		arr, _ := cur.([]any)
-		setPath(d, k, append(arr, cloneValue(v)))
+		setPathCOW(d, k, append(arr, cloneValue(v)))
 	}
 	for _, k := range u.Unset {
 		parts := strings.Split(k, ".")
@@ -306,6 +374,8 @@ func (u Update) apply(d Doc) {
 				okPath = false
 				break
 			}
+			next = next.Clone()
+			cur[p] = next
 			cur = next
 		}
 		if okPath {
@@ -379,11 +449,13 @@ func (c *Collection) indexRemoveLocked(d Doc, id string) {
 }
 
 // Insert stores a document, assigning _id when absent. It returns the
-// document id.
+// document id. The input is deep-copied: the store must never alias
+// caller-owned memory, or later caller mutations would corrupt the
+// copy-on-write views reads hand out.
 func (c *Collection) Insert(d Doc) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	stored := d.Clone()
+	stored := d.DeepClone()
 	id, _ := stored["_id"].(string)
 	if id == "" {
 		c.seq++
@@ -395,13 +467,24 @@ func (c *Collection) Insert(d Doc) (string, error) {
 	}
 	c.docs[id] = stored
 	c.indexAddLocked(stored, id)
+	// Oplog entries carry copy-on-write views: O(top-level fields), not
+	// O(document) — the store's update discipline keeps the shared
+	// nested values immutable.
 	c.db.logOp(op{Kind: "insert", Coll: c.name, Doc: stored.Clone()})
 	return id, nil
 }
 
-// candidatesLocked returns ids potentially matching the filter, using an
-// index when an equality condition over an indexed field exists.
+// candidatesLocked returns ids potentially matching the filter: the
+// primary key directly for an _id equality (the hottest query shape —
+// every status transition reads by _id), a hash index when an equality
+// condition over an indexed field exists, and a full scan otherwise.
 func (c *Collection) candidatesLocked(f Filter) []string {
+	if id, ok := f["_id"].(string); ok {
+		if _, exists := c.docs[id]; exists {
+			return []string{id}
+		}
+		return nil
+	}
 	for field, cond := range f {
 		if _, isOp := cond.(Op); isOp {
 			continue
@@ -440,26 +523,30 @@ type FindOpts struct {
 	Limit int
 }
 
-// Find returns copies of all matching documents.
+// Find returns copy-on-write views of all matching documents (see the
+// Doc mutation rules). Matching and sorting run against the stored
+// documents under the read lock — an indexed-equality query with a sort
+// and a Limit never materializes the losers; only the surviving window
+// is cloned.
 func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
 	c.mu.RLock()
+	defer c.mu.RUnlock()
 	ids := c.candidatesLocked(f)
 	matched := make([]Doc, 0, len(ids))
 	for _, id := range ids {
 		d, ok := c.docs[id]
 		if ok && f.Matches(d) {
-			matched = append(matched, d.Clone())
+			matched = append(matched, d)
 		}
 	}
-	c.mu.RUnlock()
-
 	sortBy := opts.SortBy
 	if sortBy == "" {
 		sortBy = "_id"
 	}
+	sortParts := strings.Split(sortBy, ".")
 	sort.SliceStable(matched, func(i, j int) bool {
-		vi, _ := lookupPath(matched[i], sortBy)
-		vj, _ := lookupPath(matched[j], sortBy)
+		vi, _ := lookupParts(matched[i], sortParts)
+		vj, _ := lookupParts(matched[j], sortParts)
 		cmp, ok := compare(vi, vj)
 		if !ok {
 			cmp = strings.Compare(fmt.Sprint(vi), fmt.Sprint(vj))
@@ -472,7 +559,11 @@ func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
 	if opts.Limit > 0 && len(matched) > opts.Limit {
 		matched = matched[:opts.Limit]
 	}
-	return matched
+	out := make([]Doc, len(matched))
+	for i, d := range matched {
+		out[i] = d.Clone()
+	}
+	return out
 }
 
 // Count returns the number of matching documents.
@@ -698,7 +789,9 @@ type ChangeEvent struct {
 	Kind string // "insert", "update" or "delete"
 	Coll string
 	// Doc is the full post-image for inserts and updates (nil for
-	// deletes). It is a private copy; the consumer may retain it.
+	// deletes). It is a copy-on-write view the consumer may retain;
+	// nested values are read-only (DeepClone before mutating — see the
+	// Doc mutation rules).
 	Doc Doc
 	// ID is the _id of the affected document.
 	ID string
@@ -793,6 +886,13 @@ func (db *DB) Watch(coll string, fromSeq uint64) *ChangeStream {
 // Secondary is a read-only replica fed by the primary's oplog, used by
 // availability tests: when the primary "crashes", reads continue from a
 // secondary (the paper replicates MongoDB for high availability, §3.2).
+//
+// Read-only is a hard contract, not a convention: replicated documents
+// are copy-on-write views sharing nested containers (including array
+// backing storage) with the primary, so a write issued through C()'s
+// Collection — always a replication-divergence bug — would now mutate
+// state the primary's live documents reference. Treat C() exactly like
+// a Find result: nested values are read-only; DeepClone to mutate.
 type Secondary struct {
 	db      *DB
 	src     *DB
@@ -849,7 +949,9 @@ func (s *Secondary) applyOp(o op) {
 	}
 }
 
-// C exposes read access to a replicated collection.
+// C exposes read access to a replicated collection. Write methods on
+// the returned Collection must not be used — see the Secondary
+// read-only contract.
 func (s *Secondary) C(name string) *Collection { return s.db.C(name) }
 
 // Applied returns the highest oplog sequence applied.

@@ -250,13 +250,121 @@ func TestCloneIsolation(t *testing.T) {
 	if _, err := c.Insert(Doc{"_id": "j1", "cfg": Doc{"gpus": 2}}); err != nil {
 		t.Fatal(err)
 	}
+	// Returned docs are copy-on-write views: top-level assignment is
+	// free, nested mutation requires DeepClone (the documented rules).
 	d, _ := c.FindOne(Filter{"_id": "j1"})
-	cfg, _ := asDoc(d["cfg"])
-	cfg["gpus"] = 99 // mutate the returned copy
+	d["status"] = "FAILED" // top-level: never visible to the store
+	mine := d.DeepClone()
+	cfg, _ := asDoc(mine["cfg"])
+	cfg["gpus"] = 99 // nested mutation on the deep copy
 	d2, _ := c.FindOne(Filter{"_id": "j1"})
 	cfg2, _ := asDoc(d2["cfg"])
 	if g, _ := toFloat(cfg2["gpus"]); g != 2 {
-		t.Fatal("stored document mutated through returned copy")
+		t.Fatal("stored document mutated through DeepClone")
+	}
+	if _, ok := d2["status"]; ok {
+		t.Fatal("stored document grew a field from a view's top-level write")
+	}
+}
+
+// TestCOWViewImmuneToLaterUpdates pins the copy-on-write invariant: a
+// view taken before an update never observes it, even though nested
+// containers are shared — updates path-copy what they touch and
+// history pushes append beyond every handed-out length.
+func TestCOWViewImmuneToLaterUpdates(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{
+		"_id": "j1", "status": "PENDING",
+		"meta":    Doc{"user": "alice", "cfg": Doc{"gpus": 2}},
+		"history": []any{Doc{"status": "PENDING"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.FindOne(Filter{"_id": "j1"})
+	for i := 0; i < 32; i++ {
+		if err := c.UpdateOne(Filter{"_id": "j1"}, Update{
+			Set:  Doc{"status": "PROCESSING", "meta.cfg.gpus": 4 + i},
+			Push: map[string]any{"history": Doc{"status": "PROCESSING", "i": i}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s, _ := before["status"].(string); s != "PENDING" {
+		t.Fatalf("view status = %q, want PENDING", s)
+	}
+	meta, _ := asDoc(before["meta"])
+	cfg, _ := asDoc(meta["cfg"])
+	if g, _ := toFloat(cfg["gpus"]); g != 2 {
+		t.Fatalf("view nested gpus = %v, want 2", cfg["gpus"])
+	}
+	hist, _ := before["history"].([]any)
+	if len(hist) != 1 {
+		t.Fatalf("view history length = %d, want 1", len(hist))
+	}
+	after, _ := c.FindOne(Filter{"_id": "j1"})
+	if hist2, _ := after["history"].([]any); len(hist2) != 33 {
+		t.Fatalf("stored history length = %d, want 33", len(hist2))
+	}
+}
+
+// TestCloneAllocBudgetWithLongHistory pins the tentpole read-path
+// property: cloning a job document with a 1000-entry status history is
+// O(top-level fields), not O(history). The deep-copy equivalent costs
+// thousands of allocations.
+func TestCloneAllocBudgetWithLongHistory(t *testing.T) {
+	d := Doc{"_id": "j1", "status": "PROCESSING", "user": "alice"}
+	hist := make([]any, 1000)
+	for i := range hist {
+		hist[i] = Doc{"status": "PROCESSING", "time": "t", "message": "m"}
+	}
+	d["history"] = hist
+	var sink Doc
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = d.Clone()
+	})
+	_ = sink
+	if allocs > 4 {
+		t.Fatalf("Clone allocations = %.1f, budget 4 (O(1)-ish); deep copy would be O(history)", allocs)
+	}
+	deep := testing.AllocsPerRun(10, func() {
+		sink = d.DeepClone()
+	})
+	if deep < 1000 {
+		t.Fatalf("DeepClone allocations = %.1f; expected O(history) — is the guard measuring the right thing?", deep)
+	}
+}
+
+// TestStatusAppendAllocsFlat pins the write-path half: appending to a
+// long status history (read + push + oplog) must not re-copy the
+// history, so its cost stays flat as the history grows.
+func TestStatusAppendAllocsFlat(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	seed := func(id string, n int) {
+		hist := make([]any, n)
+		for i := range hist {
+			hist[i] = Doc{"status": "S", "i": i}
+		}
+		if _, err := c.Insert(Doc{"_id": id, "status": "S", "history": hist}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed("short", 4)
+	seed("long", 4096)
+	appendOnce := func(id string) func() {
+		return func() {
+			if err := c.UpdateOne(Filter{"_id": id}, Update{
+				Push: map[string]any{"history": Doc{"status": "S"}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(200, appendOnce("short"))
+	long := testing.AllocsPerRun(200, appendOnce("long"))
+	if long > short*4+64 {
+		t.Fatalf("status append allocs grew with history: short=%.0f long=%.0f", short, long)
 	}
 }
 

@@ -334,3 +334,37 @@ func TestEchoRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkRPCRoundtrip measures the unary wire path — client argument
+// encode, frame multiplex, server decode/dispatch, reply encode, client
+// decode — with allocation counts, pinning the pooled-buffer hot path.
+func BenchmarkRPCRoundtrip(b *testing.B) {
+	s := NewServer()
+	s.Register("Echo", echoReq{}, func(_ context.Context, arg any) (any, error) {
+		r := arg.(echoReq)
+		return echoResp{Msg: r.Msg, N: r.N + 1}, nil
+	})
+	addr, err := s.Listen()
+	if err != nil {
+		b.Fatalf("Listen: %v", err)
+	}
+	defer s.Close()
+	conn, err := Dial(addr)
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	req := echoReq{Msg: "payload-for-the-roundtrip-benchmark", N: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var resp echoResp
+		if err := conn.Call(ctx, "Echo", req, &resp); err != nil {
+			b.Fatal(err)
+		}
+		if resp.N != req.N+1 {
+			b.Fatalf("bad reply: %+v", resp)
+		}
+	}
+}

@@ -260,17 +260,35 @@ func (s *Server) dispatch(ctx context.Context, cs *connState, f *frame) {
 	cs.send(&frame{Kind: frameEnd, ID: f.ID}) //nolint:errcheck
 }
 
+// encBufs pools the per-message encode scratch buffers on both wire
+// directions (client argument encode, server reply/stream encode).
+// Buffer growth is the dominant per-message allocation; pooling keeps a
+// warmed buffer per P. The gob *encoders* themselves cannot be pooled
+// across messages: a gob stream transmits each type descriptor only
+// once per encoder, so a reused encoder would omit descriptors the
+// fresh per-message decoder on the other side has never seen. The
+// connection-level frame encoders (Conn.enc, connState.enc) are the
+// reused ones — they live as long as the connection, matching the
+// connection-level frame decoders.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // encode gob-encodes a single concrete value. A nil value encodes to an
 // empty body, which decodes as a no-op on the receiving side.
 func encode(v any) ([]byte, error) {
 	if v == nil {
 		return nil, nil
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(v)); err != nil {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).EncodeValue(reflect.ValueOf(v)); err != nil {
+		encBufs.Put(buf)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	// The frame retains the body past this call, so hand back an
+	// exact-size copy and recycle the (grown) scratch buffer.
+	out := append([]byte(nil), buf.Bytes()...)
+	encBufs.Put(buf)
+	return out, nil
 }
 
 // decodeAs decodes body into a fresh value of type t and returns it as a
