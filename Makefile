@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke docs-check ci
+.PHONY: all fmt vet build test race bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke docs-check ci
 
 all: build
 
@@ -48,10 +48,20 @@ watch-churn-smoke:
 tenant-smoke:
 	$(GO) run ./cmd/ffdl-bench -tenant -tenant-iters 2 -json bench-tenant.json
 
+# Fuzz gate for the hand-rolled wire codecs: a short coverage-guided
+# run of each roundtrip fuzzer (etcd command entries, RPC frames).
+# Corrupt or truncated input must error, never panic; go's fuzzer
+# allows one -fuzz target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run=xxx -fuzz=FuzzCommandCodecRoundtrip -fuzztime=10s ./internal/etcd
+	$(GO) test -run=xxx -fuzz=FuzzFrameCodecRoundtrip -fuzztime=10s ./internal/rpc
+
 # Small control-plane throughput run (submissions dispatched/sec +
-# etcd proposals/sec + mongo ops/sec, group commit vs the unbatched
-# ablation); emits the BENCH json artifact CI uploads
-# (bench-throughput.json) — the perf trajectory baseline.
+# etcd proposals/sec + mongo ops/sec + codec round-trips/sec) across
+# all three arms: group commit + binary entry codec, the gob-codec
+# ablation, and the seed's unbatched + gob arm; emits the BENCH json
+# artifact CI uploads (bench-throughput.json) — the perf trajectory
+# baseline.
 throughput-smoke:
 	$(GO) run ./cmd/ffdl-bench -throughput -tp-submitters 32 -tp-jobs 64 -json bench-throughput.json
 
@@ -80,4 +90,4 @@ docs-check:
 	[ $$ok -eq 1 ] || exit 1
 	@echo "docs-check: README, architecture and watch-protocol docs are complete and linked"
 
-ci: fmt vet build test race bench-smoke docs-check
+ci: fmt vet build test race bench-smoke fuzz-smoke docs-check

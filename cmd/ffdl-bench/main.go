@@ -201,18 +201,18 @@ func runTenant(iters int, seed int64) []expt.MultiTenantResult {
 	return results
 }
 
-// runThroughput runs the control-plane throughput pair (group commit +
-// pipelined replication vs the unbatched ablation), prints the table,
-// and returns the raw results for the BENCH json artifact.
+// runThroughput runs the three-arm control-plane throughput comparison
+// (group commit + binary entry codec, the gob-codec ablation, and the
+// seed's unbatched + gob arm), prints the table, and returns the raw
+// results for the BENCH json artifact.
 func runThroughput(submitters, jobs int, seed int64) []expt.ThroughputResult {
-	batched, unbatched, err := expt.ThroughputCompare(expt.ThroughputConfig{
+	results, err := expt.ThroughputArms(expt.ThroughputConfig{
 		Submitters: submitters, Jobs: jobs, Seed: seed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ffdl-bench: throughput: %v\n", err)
 		os.Exit(1)
 	}
-	results := []expt.ThroughputResult{batched, unbatched}
 	fmt.Println(expt.RenderThroughput(results).String())
 	return results
 }

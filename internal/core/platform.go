@@ -103,6 +103,12 @@ type Config struct {
 	// pipelined replication disabled (etcd.Options.UnbatchedAblation) —
 	// the throughput experiment's ablation arm. Leave false.
 	EtcdUnbatched bool
+
+	// EtcdGobCodec makes the coordination store encode Raft entries with
+	// gob instead of the hand-rolled binary codec
+	// (etcd.Options.GobCodec) — the codec ablation arm of the throughput
+	// experiment. Leave false.
+	EtcdGobCodec bool
 }
 
 func (c *Config) defaults() {
@@ -237,6 +243,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		// (and stretches with it in long-virtual-horizon simulations).
 		WatchHealthInterval: cfg.PollInterval * 4,
 		UnbatchedAblation:   cfg.EtcdUnbatched,
+		GobCodec:            cfg.EtcdGobCodec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: boot etcd: %w", err)

@@ -2,7 +2,6 @@ package etcd
 
 import (
 	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -54,12 +53,20 @@ type Options struct {
 	// to TickInterval * 4.
 	WatchHealthInterval time.Duration
 	// UnbatchedAblation restores the seed's proposal hot path for the
-	// throughput ablation: one gob-encoded Raft entry per command and
-	// full-suffix append fan-out (LegacyReplication) instead of group
-	// commit + pipelined replication. Production configurations leave it
-	// false. Results, ordering and the watch contract are identical
-	// either way — only the per-operation cost differs.
+	// throughput ablation: one Raft entry per command and full-suffix
+	// append fan-out (LegacyReplication) instead of group commit +
+	// pipelined replication. Production configurations leave it false.
+	// Results, ordering and the watch contract are identical either way
+	// — only the per-operation cost differs.
 	UnbatchedAblation bool
+	// GobCodec keeps Raft entries in the seed's gob encoding instead of
+	// the hand-rolled binary command codec — the codec ablation arm of
+	// the throughput experiment. Decode always auto-detects the format
+	// (see codec.go), so mixed-codec entries apply identically;
+	// production configurations leave this false. Raft snapshots use
+	// gob regardless: they are cold-path and their schema already
+	// self-describes.
+	GobCodec bool
 }
 
 func (o *Options) defaults() {
@@ -210,18 +217,23 @@ func NewCluster(opts Options) (*Cluster, error) {
 // whole envelope lives in one Raft entry, so a batch is atomic with
 // respect to replication and snapshotting; sub-commands still apply
 // (and emit watch events) individually, at their own revisions.
+//
+// The decode target is a per-replica scratch command reused across
+// entries (including its Batch backing array): applyFunc runs under the
+// owning node's mutex, so there is never a concurrent decode into the
+// same scratch, and the state machine copies everything it retains.
 func (c *Cluster) applier(st *storeState) applyFunc {
+	scratch := new(command)
 	return func(a Applied) {
-		var cmd command
-		if err := gob.NewDecoder(bytes.NewReader(a.Data)).Decode(&cmd); err != nil {
+		if err := decodeCommand(a.Data, scratch); err != nil {
 			return
 		}
-		if cmd.Op == opBatch {
-			for i := range cmd.Batch {
-				c.applyOne(st, &cmd.Batch[i])
+		if scratch.Op == opBatch {
+			for i := range scratch.Batch {
+				c.applyOne(st, &scratch.Batch[i])
 			}
 		} else {
-			c.applyOne(st, &cmd)
+			c.applyOne(st, scratch)
 		}
 		// One apply barrier broadcast per entry (not per sub-command):
 		// wakes leaderState waiters for read-your-writes checks.
@@ -407,10 +419,12 @@ func (c *Cluster) flush(q []*command) {
 			break
 		}
 	}
-	var buf bytes.Buffer
+	var data []byte
+	var err error
 	if len(q) == 1 {
-		if err := gob.NewEncoder(&buf).Encode(q[0]); err != nil {
-			c.failWaiter(q[0].ReqID, fmt.Errorf("etcd: encode command: %w", err))
+		data, err = encodeEntry(q[0], c.opts.GobCodec)
+		if err != nil {
+			c.failWaiter(q[0].ReqID, err)
 			return
 		}
 	} else {
@@ -418,23 +432,25 @@ func (c *Cluster) flush(q []*command) {
 		for i, cmd := range q {
 			env.Batch[i] = *cmd
 		}
-		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		data, err = encodeEntry(&env, c.opts.GobCodec)
+		if err != nil {
 			// A poison command must not take the batch down with it (or
 			// keep re-landing in subsequent batches): re-encode each
 			// command alone, fail exactly the unencodable ones, and
-			// propose the rest as their own entries.
+			// propose the rest as their own entries. (Only the gob arm
+			// can fail; the binary codec is total over command values.)
 			for _, cmd := range q {
-				var one bytes.Buffer
-				if err := gob.NewEncoder(&one).Encode(cmd); err != nil {
-					c.failWaiter(cmd.ReqID, fmt.Errorf("etcd: encode command: %w", err))
+				one, err := encodeEntry(cmd, c.opts.GobCodec)
+				if err != nil {
+					c.failWaiter(cmd.ReqID, err)
 					continue
 				}
-				c.proposeEntry(one.Bytes())
+				c.proposeEntry(one)
 			}
 			return
 		}
 	}
-	c.proposeEntry(buf.Bytes())
+	c.proposeEntry(data)
 }
 
 // failWaiter completes a proposal's waiter with a terminal error and
@@ -579,16 +595,17 @@ func (c *Cluster) propose(cmd *command) (result, error) {
 }
 
 // proposeDirect is the seed's proposal hot path, kept verbatim for the
-// unbatched ablation: every caller gob-encodes its own command as its
-// own Raft entry and proposes it directly, so concurrent callers
-// overlap replication rounds exactly as they did before group commit
-// (no queue, no pacing). Exactly-once still holds via ReqID dedup.
+// unbatched ablation: every caller encodes its own command as its own
+// Raft entry and proposes it directly, so concurrent callers overlap
+// replication rounds exactly as they did before group commit (no
+// queue, no pacing). Exactly-once still holds via ReqID dedup. The
+// entry codec follows Options.GobCodec, so the batching and codec
+// ablations compose orthogonally.
 func (c *Cluster) proposeDirect(cmd *command, ch chan result) (result, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cmd); err != nil {
-		return result{}, fmt.Errorf("etcd: encode command: %w", err)
+	data, err := encodeEntry(cmd, c.opts.GobCodec)
+	if err != nil {
+		return result{}, err
 	}
-	data := buf.Bytes()
 	clk := c.opts.Clock
 	deadline := clk.Now().Add(c.opts.ProposalTimeout)
 	for {

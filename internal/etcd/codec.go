@@ -1,0 +1,351 @@
+package etcd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// allocSnapshot captures the global malloc counter for BenchCodec's
+// allocs-per-op accounting (the non-testing analogue of ReportAllocs).
+type allocSnapshot struct{ mallocs uint64 }
+
+func (a *allocSnapshot) read() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	a.mallocs = ms.Mallocs
+}
+
+// Hand-rolled binary codec for replicated commands — the wire format of
+// every Raft entry. Profiling pinned per-entry gob encode/decode as the
+// floor of proposal cost (~800 allocs for a serial Put: a fresh encoder
+// on the propose side plus a fresh decoder per replica, each paying
+// reflection and type-descriptor work per entry). The binary form is
+// append-style varint encoding: one exact-size buffer allocation on
+// encode (the Raft log retains the entry, so the buffer cannot be
+// pooled) and near-zero allocations on decode (values alias the entry
+// buffer; only key strings are materialized).
+//
+// Layout (all integers varint/uvarint, strings and byte slices
+// uvarint-length-prefixed):
+//
+//	cmdMagic | op | ReqID | Key | Value | Lease | TTL | flags |
+//	CmpKey | CmpRev | RequestBy [| batch count | sub-commands...]
+//
+// The leading cmdMagic byte (0xE7) makes entries self-describing
+// against gob: a gob stream for these types always begins with a
+// message length whose first byte is either a small unsigned count
+// (< 0x80) or a multi-byte-length marker near 0xFF, never 0xE7. Raft
+// snapshots keep gob (storeSnapshot is cold-path), and the GobCodec
+// ablation keeps whole entries in gob; decodeCommand dispatches on the
+// first byte so a cluster can apply both forms interchangeably.
+//
+// Sub-commands of an opBatch envelope are encoded with the same field
+// layout (no magic byte). Nesting is a single level: an opBatch inside
+// a batch is rejected on decode, bounding recursion on corrupt input.
+const cmdMagic = 0xE7
+
+// Decode errors. Corrupt or truncated input always surfaces as an
+// error — never a panic — pinned by FuzzCommandCodecRoundtrip.
+var (
+	errCodecTruncated = errors.New("etcd: codec: truncated input")
+	errCodecCorrupt   = errors.New("etcd: codec: corrupt input")
+)
+
+// maxCodecLen bounds any single length prefix (key, value, batch
+// count) so a corrupt entry cannot demand an absurd allocation before
+// the truncation is noticed.
+const maxCodecLen = 1 << 26
+
+// commandFlag bits.
+const flagPrefix = 1 << 0
+
+// encodeCommand appends the binary encoding of cmd to dst and returns
+// the extended slice. Pass a buffer sized by commandSize to encode with
+// a single allocation.
+func encodeCommand(dst []byte, cmd *command) []byte {
+	dst = append(dst, cmdMagic)
+	dst = appendCommandBody(dst, cmd)
+	if cmd.Op == opBatch {
+		dst = binary.AppendUvarint(dst, uint64(len(cmd.Batch)))
+		for i := range cmd.Batch {
+			dst = appendCommandBody(dst, &cmd.Batch[i])
+		}
+	}
+	return dst
+}
+
+// appendCommandBody appends the fixed field layout shared by top-level
+// commands and batch sub-commands.
+func appendCommandBody(dst []byte, cmd *command) []byte {
+	dst = binary.AppendUvarint(dst, uint64(cmd.Op))
+	dst = binary.AppendUvarint(dst, cmd.ReqID)
+	dst = binary.AppendUvarint(dst, uint64(len(cmd.Key)))
+	dst = append(dst, cmd.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(cmd.Value)))
+	dst = append(dst, cmd.Value...)
+	dst = binary.AppendVarint(dst, cmd.Lease)
+	dst = binary.AppendVarint(dst, int64(cmd.TTL))
+	var flags byte
+	if cmd.Prefix {
+		flags |= flagPrefix
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(cmd.CmpKey)))
+	dst = append(dst, cmd.CmpKey...)
+	dst = binary.AppendUvarint(dst, cmd.CmpRev)
+	dst = binary.AppendVarint(dst, int64(cmd.RequestBy))
+	return dst
+}
+
+// commandSize returns an upper bound on the encoded size of cmd, so
+// encode buffers can be allocated exactly once.
+func commandSize(cmd *command) int {
+	// 1 magic + ~10 bytes per varint field (8 fields) + string/byte
+	// payloads; generous per-field bound beats a second pass.
+	n := 1 + commandBodySize(cmd)
+	if cmd.Op == opBatch {
+		n += binary.MaxVarintLen64
+		for i := range cmd.Batch {
+			n += commandBodySize(&cmd.Batch[i])
+		}
+	}
+	return n
+}
+
+func commandBodySize(cmd *command) int {
+	return 8*binary.MaxVarintLen64 + 1 + len(cmd.Key) + len(cmd.Value) + len(cmd.CmpKey)
+}
+
+// cmdReader walks an encoded command buffer.
+type cmdReader struct {
+	buf []byte
+	off int
+}
+
+func (r *cmdReader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, errCodecTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *cmdReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errCodecTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *cmdReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errCodecTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+// bytes returns a length-prefixed byte field ALIASING the underlying
+// buffer — zero-copy, safe because Raft entries are immutable and the
+// state machine copies values it retains (putLocked).
+func (r *cmdReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCodecLen {
+		return nil, errCodecCorrupt
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		return nil, errCodecTruncated
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// decodeCommandBody decodes one field-layout block into cmd.
+func (r *cmdReader) decodeCommandBody(cmd *command, topLevel bool) error {
+	op, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	cmd.Op = cmdOp(op)
+	if cmd.Op == opBatch && !topLevel {
+		return fmt.Errorf("%w: nested batch envelope", errCodecCorrupt)
+	}
+	if cmd.ReqID, err = r.uvarint(); err != nil {
+		return err
+	}
+	key, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	cmd.Key = string(key)
+	val, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	if len(val) == 0 {
+		cmd.Value = nil
+	} else {
+		cmd.Value = val
+	}
+	if cmd.Lease, err = r.varint(); err != nil {
+		return err
+	}
+	ttl, err := r.varint()
+	if err != nil {
+		return err
+	}
+	cmd.TTL = time.Duration(ttl)
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	cmd.Prefix = flags&flagPrefix != 0
+	cmpKey, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	cmd.CmpKey = string(cmpKey)
+	if cmd.CmpRev, err = r.uvarint(); err != nil {
+		return err
+	}
+	reqBy, err := r.varint()
+	if err != nil {
+		return err
+	}
+	cmd.RequestBy = int(reqBy)
+	cmd.Batch = nil
+	return nil
+}
+
+// decodeCommand decodes an encoded Raft entry into cmd, reusing cmd's
+// Batch backing array when capacity allows (the applier passes a
+// per-replica scratch command, so steady-state decode allocates only
+// key strings). It dispatches on the leading byte: cmdMagic selects the
+// binary layout, anything else falls back to gob — entries written by
+// the GobCodec ablation (or by a cluster predating the codec) decode
+// through the same call.
+func decodeCommand(data []byte, cmd *command) error {
+	if len(data) == 0 {
+		return errCodecTruncated
+	}
+	if data[0] != cmdMagic {
+		*cmd = command{}
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(cmd); err != nil {
+			return fmt.Errorf("etcd: codec: gob fallback: %w", err)
+		}
+		return nil
+	}
+	r := cmdReader{buf: data, off: 1}
+	scratch := cmd.Batch[:0]
+	if err := r.decodeCommandBody(cmd, true); err != nil {
+		return err
+	}
+	// Retain the caller's Batch backing array across single-command
+	// decodes so a later batch decode into the same scratch struct can
+	// reuse it.
+	cmd.Batch = scratch
+	if cmd.Op == opBatch {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > maxCodecLen {
+			return errCodecCorrupt
+		}
+		// Each sub-command is at least ~12 bytes; cheap sanity bound
+		// before allocating.
+		if n > uint64(len(data)) {
+			return errCodecTruncated
+		}
+		if uint64(cap(scratch)) >= n {
+			cmd.Batch = scratch[:n]
+		} else {
+			cmd.Batch = make([]command, n)
+		}
+		for i := range cmd.Batch {
+			if err := r.decodeCommandBody(&cmd.Batch[i], false); err != nil {
+				return err
+			}
+		}
+	}
+	if r.off != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes", errCodecCorrupt, len(data)-r.off)
+	}
+	return nil
+}
+
+// encodeEntry serializes one proposal (a single command or a batch
+// envelope) for the Raft log using the cluster's configured codec: one
+// exact-size allocation on the binary path, the seed's gob path under
+// the GobCodec ablation.
+func encodeEntry(cmd *command, gobCodec bool) ([]byte, error) {
+	if gobCodec {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(cmd); err != nil {
+			return nil, fmt.Errorf("etcd: encode command: %w", err)
+		}
+		return buf.Bytes(), nil
+	}
+	return encodeCommand(make([]byte, 0, commandSize(cmd)), cmd), nil
+}
+
+// CodecStats reports the codec microbenchmark used by the throughput
+// experiment's JSON artifact: round-trips per second and allocations
+// per encode+decode of a representative Put command.
+type CodecStats struct {
+	Codec       string  `json:"codec"`
+	CmdsPerSec  float64 `json:"cmds_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// BenchCodec measures the configured entry codec over iters
+// encode+decode round-trips of a representative Put command, without
+// needing the testing package — ffdl-bench calls it to put the codec
+// dimension into bench-throughput.json.
+func BenchCodec(gobCodec bool, iters int) CodecStats {
+	if iters <= 0 {
+		iters = 1 << 14
+	}
+	cmd := command{
+		Op: opPut, Key: "jobs/tp-000/status", Value: []byte("PROCESSING"),
+		ReqID: 12345,
+	}
+	name := "binary"
+	if gobCodec {
+		name = "gob"
+	}
+	var scratch command
+	var ms0, ms1 allocSnapshot
+	ms0.read()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		data, err := encodeEntry(&cmd, gobCodec)
+		if err != nil {
+			panic(err) // cannot fail for this command shape
+		}
+		if err := decodeCommand(data, &scratch); err != nil {
+			panic(err)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	ms1.read()
+	st := CodecStats{Codec: name}
+	if wall > 0 {
+		st.CmdsPerSec = float64(iters) / wall
+	}
+	st.AllocsPerOp = float64(ms1.mallocs-ms0.mallocs) / float64(iters)
+	return st
+}

@@ -1,0 +1,234 @@
+package etcd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// commandEqual compares commands treating nil and empty byte slices /
+// batches as equal (the binary codec canonicalizes empties to nil; gob
+// does the same on its own).
+func commandEqual(a, b *command) bool {
+	if a.Op != b.Op || a.Key != b.Key || a.Lease != b.Lease ||
+		a.TTL != b.TTL || a.Prefix != b.Prefix || a.CmpKey != b.CmpKey ||
+		a.CmpRev != b.CmpRev || a.ReqID != b.ReqID || a.RequestBy != b.RequestBy {
+		return false
+	}
+	if !bytes.Equal(a.Value, b.Value) {
+		return false
+	}
+	if len(a.Batch) != len(b.Batch) {
+		return false
+	}
+	for i := range a.Batch {
+		if !commandEqual(&a.Batch[i], &b.Batch[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func codecCases() []command {
+	return []command{
+		{Op: opPut, Key: "jobs/x/status", Value: []byte("PROCESSING"), ReqID: 7},
+		{Op: opPut, Key: "k", Value: nil, Lease: 42, ReqID: 1<<64 - 1},
+		{Op: opDelete, Key: "jobs/", Prefix: true, ReqID: 3},
+		{Op: opGrantLease, TTL: 30 * time.Second, ReqID: 4},
+		{Op: opRevokeLease, Lease: -9, ReqID: 5},
+		{Op: opKeepAlive, Lease: 12, ReqID: 6},
+		{Op: opTxnPut, Key: "a", Value: []byte{0, 1, 2}, CmpKey: "a", CmpRev: 99, ReqID: 8, RequestBy: 2},
+		{Op: opExpireLease, Lease: 1, ReqID: 9},
+		{Op: opBatch, Batch: []command{
+			{Op: opPut, Key: "b/1", Value: []byte("v1"), ReqID: 10},
+			{Op: opDelete, Key: "b/2", ReqID: 11},
+			{Op: opGrantLease, TTL: time.Minute, ReqID: 12},
+		}},
+	}
+}
+
+// TestCommandCodecRoundtrip pins decode(encode(x)) == x for every op
+// shape on both codecs (the gob arm exercises the auto-detecting
+// fallback in decodeCommand).
+func TestCommandCodecRoundtrip(t *testing.T) {
+	for _, gobCodec := range []bool{false, true} {
+		var scratch command
+		for _, want := range codecCases() {
+			data, err := encodeEntry(&want, gobCodec)
+			if err != nil {
+				t.Fatalf("encode (gob=%v) %+v: %v", gobCodec, want, err)
+			}
+			if err := decodeCommand(data, &scratch); err != nil {
+				t.Fatalf("decode (gob=%v) %+v: %v", gobCodec, want, err)
+			}
+			if !commandEqual(&want, &scratch) {
+				t.Fatalf("roundtrip (gob=%v): got %+v, want %+v", gobCodec, scratch, want)
+			}
+		}
+	}
+}
+
+// TestCommandCodecTruncatedErrors pins that every proper prefix of an
+// encoded command fails with an error instead of panicking or decoding
+// to a valid command silently missing fields.
+func TestCommandCodecTruncatedErrors(t *testing.T) {
+	for _, want := range codecCases() {
+		data := encodeCommand(nil, &want)
+		var scratch command
+		for cut := 0; cut < len(data); cut++ {
+			if err := decodeCommand(data[:cut], &scratch); err == nil {
+				t.Fatalf("decode of %d/%d-byte prefix of %+v succeeded", cut, len(data), want)
+			}
+		}
+		// Trailing garbage must be rejected too: an entry is exactly one
+		// command.
+		if err := decodeCommand(append(data[:len(data):len(data)], 0xAB), &scratch); err == nil {
+			t.Fatalf("decode with trailing byte succeeded for %+v", want)
+		}
+	}
+}
+
+// TestCommandCodecBatchScratchReuse pins the zero-alloc decode
+// property the applier relies on: decoding batches into the same
+// scratch command reuses the Batch backing array.
+func TestCommandCodecBatchScratchReuse(t *testing.T) {
+	env := command{Op: opBatch, Batch: []command{
+		{Op: opPut, Key: "a", Value: []byte("1"), ReqID: 1},
+		{Op: opPut, Key: "b", Value: []byte("2"), ReqID: 2},
+	}}
+	data := encodeCommand(nil, &env)
+	single := command{Op: opPut, Key: "s", Value: []byte("x"), ReqID: 3}
+	singleData := encodeCommand(nil, &single)
+
+	var scratch command
+	if err := decodeCommand(data, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	first := &scratch.Batch[0]
+	// Interleave a single-command decode; the batch capacity must
+	// survive it.
+	if err := decodeCommand(singleData, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeCommand(data, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if &scratch.Batch[0] != first {
+		t.Fatal("batch decode did not reuse the scratch backing array")
+	}
+}
+
+// FuzzCommandCodecRoundtrip fuzzes three properties at once:
+//
+//  1. decode(encode(x)) == x for a command built from the fuzz inputs
+//     (including a batch envelope when batchN > 0);
+//  2. decoding any proper prefix of the encoding errors — truncated
+//     entries never decode silently;
+//  3. decoding arbitrary bytes (the raw value payload) never panics.
+func FuzzCommandCodecRoundtrip(f *testing.F) {
+	f.Add(uint8(opPut), "jobs/x/status", []byte("PROCESSING"), int64(0), int64(0), false, "", uint64(0), uint64(7), 0, uint8(0), uint(0))
+	f.Add(uint8(opTxnPut), "a", []byte{1, 2}, int64(3), int64(4), true, "cmp", uint64(5), uint64(6), 1, uint8(3), uint(2))
+	f.Add(uint8(opBatch), "", []byte(nil), int64(0), int64(0), false, "", uint64(0), uint64(0), 0, uint8(5), uint(9))
+	f.Fuzz(func(t *testing.T, op uint8, key string, value []byte, lease, ttl int64,
+		prefix bool, cmpKey string, cmpRev, reqID uint64, requestBy int, batchN uint8, cut uint) {
+		want := command{
+			Op: cmdOp(op), Key: key, Value: value, Lease: lease,
+			TTL: time.Duration(ttl), Prefix: prefix, CmpKey: cmpKey,
+			CmpRev: cmpRev, ReqID: reqID, RequestBy: requestBy,
+		}
+		if want.Op == opBatch {
+			// Envelopes hold non-batch sub-commands (nesting is rejected
+			// by decode); synthesize a few from the same inputs.
+			n := int(batchN%8) + 1
+			sub := want
+			sub.Op = opPut
+			for i := 0; i < n; i++ {
+				sub.ReqID = reqID + uint64(i)
+				want.Batch = append(want.Batch, sub)
+			}
+		}
+		data := encodeCommand(nil, &want)
+		var got command
+		if err := decodeCommand(data, &got); err != nil {
+			t.Fatalf("decode(encode(x)): %v", err)
+		}
+		if !commandEqual(&want, &got) {
+			t.Fatalf("roundtrip mismatch: got %+v, want %+v", got, want)
+		}
+		// Truncation at a fuzz-chosen point must error, never panic.
+		if int(cut) < len(data) {
+			if err := decodeCommand(data[:cut], &got); err == nil {
+				t.Fatalf("decode of truncated entry (%d/%d bytes) succeeded", cut, len(data))
+			}
+		}
+		// Arbitrary bytes must never panic (error or not is fine — the
+		// value payload may happen to be a valid encoding or valid gob).
+		_ = decodeCommand(value, &got) //nolint:errcheck
+	})
+}
+
+// BenchmarkCommandEncode compares per-entry encode cost: hand-rolled
+// binary vs the seed's gob, for a representative single Put and for a
+// 64-command batch envelope.
+func BenchmarkCommandEncode(b *testing.B) {
+	single := command{Op: opPut, Key: "jobs/tp-000/status", Value: []byte("PROCESSING"), ReqID: 12345}
+	env := command{Op: opBatch, Batch: make([]command, 64)}
+	for i := range env.Batch {
+		env.Batch[i] = single
+		env.Batch[i].ReqID = uint64(i + 1)
+	}
+	for _, bc := range []struct {
+		name string
+		gob  bool
+		cmd  *command
+	}{
+		{"Binary/Single", false, &single},
+		{"Gob/Single", true, &single},
+		{"Binary/Batch64", false, &env},
+		{"Gob/Batch64", true, &env},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := encodeEntry(bc.cmd, bc.gob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommandDecode compares per-entry decode cost into a reused
+// scratch command (the applier's shape).
+func BenchmarkCommandDecode(b *testing.B) {
+	single := command{Op: opPut, Key: "jobs/tp-000/status", Value: []byte("PROCESSING"), ReqID: 12345}
+	env := command{Op: opBatch, Batch: make([]command, 64)}
+	for i := range env.Batch {
+		env.Batch[i] = single
+		env.Batch[i].ReqID = uint64(i + 1)
+	}
+	for _, bc := range []struct {
+		name string
+		gob  bool
+		cmd  *command
+	}{
+		{"Binary/Single", false, &single},
+		{"Gob/Single", true, &single},
+		{"Binary/Batch64", false, &env},
+		{"Gob/Batch64", true, &env},
+	} {
+		data, err := encodeEntry(bc.cmd, bc.gob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bc.name, func(b *testing.B) {
+			var scratch command
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := decodeCommand(data, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package expt
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,8 +55,12 @@ type ThroughputConfig struct {
 	// MongoOps is the per-submitter op count for the mongo microstage.
 	// Default 256.
 	MongoOps int
-	// Unbatched selects the ablation arm (seed proposal path).
+	// Unbatched selects the batching ablation arm (seed proposal path).
 	Unbatched bool
+	// GobCodec selects the codec ablation arm: gob-encoded Raft entries
+	// (the seed codec) instead of the hand-rolled binary codec. The two
+	// ablations compose; the seed-faithful arm is Unbatched+GobCodec.
+	GobCodec bool
 	// Seed drives platform randomness.
 	Seed int64
 	// SettleWall is the FakeClock auto-advance quiescence window.
@@ -97,9 +102,10 @@ func (c *ThroughputConfig) defaults() {
 
 // ThroughputResult reports one run.
 type ThroughputResult struct {
-	Submitters int  `json:"submitters"`
-	Jobs       int  `json:"jobs"`
-	Batched    bool `json:"batched"`
+	Submitters int    `json:"submitters"`
+	Jobs       int    `json:"jobs"`
+	Batched    bool   `json:"batched"`
+	Codec      string `json:"codec"` // "binary" or "gob"
 
 	// End-to-end stage.
 	Dispatched       int     `json:"dispatched"`
@@ -118,6 +124,11 @@ type ThroughputResult struct {
 	MongoOps       uint64  `json:"mongo_ops"`
 	MongoOpsPerSec float64 `json:"mongo_ops_per_sec"`
 
+	// Codec microstage: encode+decode round-trips of a representative
+	// Put command through this arm's entry codec (no Raft, no disk —
+	// pure serialization cost).
+	CodecBench etcd.CodecStats `json:"codec_bench"`
+
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
@@ -126,6 +137,10 @@ func Throughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	cfg.defaults()
 	res := ThroughputResult{
 		Submitters: cfg.Submitters, Jobs: cfg.Jobs, Batched: !cfg.Unbatched,
+		Codec: "binary",
+	}
+	if cfg.GobCodec {
+		res.Codec = "gob"
 	}
 	wallStart := time.Now()
 	if err := throughputE2E(cfg, &res); err != nil {
@@ -135,6 +150,7 @@ func Throughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		return res, err
 	}
 	throughputMongo(cfg, &res)
+	res.CodecBench = etcd.BenchCodec(cfg.GobCodec, 0)
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	return res, nil
 }
@@ -168,6 +184,7 @@ func throughputE2E(cfg ThroughputConfig, res *ThroughputResult) error {
 		// registering a clock waiter.)
 		StartDelay:    func(string) time.Duration { return 0 },
 		EtcdUnbatched: cfg.Unbatched,
+		EtcdGobCodec:  cfg.GobCodec,
 	})
 	if err != nil {
 		return err
@@ -272,6 +289,7 @@ func throughputEtcd(cfg ThroughputConfig, res *ThroughputResult) error {
 	c, err := etcd.NewCluster(etcd.Options{
 		Seed:              cfg.Seed,
 		UnbatchedAblation: cfg.Unbatched,
+		GobCodec:          cfg.GobCodec,
 	})
 	if err != nil {
 		return err
@@ -343,46 +361,92 @@ func throughputMongo(cfg ThroughputConfig, res *ThroughputResult) {
 	}
 }
 
-// ThroughputCompare runs the batched configuration and the unbatched
-// ablation over the identical workload.
+// ThroughputCompare runs the batched configuration (binary codec)
+// against the unbatched ablation over the identical workload. The
+// ablation arm keeps the seed's gob entry codec, so the pair measures
+// everything the proposal-path work bought end to end.
 func ThroughputCompare(cfg ThroughputConfig) (batched, unbatched ThroughputResult, err error) {
-	cfg.Unbatched = false
+	cfg.Unbatched, cfg.GobCodec = false, false
 	batched, err = Throughput(cfg)
 	if err != nil {
 		return batched, unbatched, err
 	}
-	cfg.Unbatched = true
+	cfg.Unbatched, cfg.GobCodec = true, true
 	unbatched, err = Throughput(cfg)
 	return batched, unbatched, err
+}
+
+// ThroughputArms runs the full three-arm comparison over the identical
+// workload: the shipping configuration (group commit + binary codec),
+// the codec ablation (group commit + gob entries — isolates what the
+// binary codec buys), and the seed arm (unbatched + gob).
+func ThroughputArms(cfg ThroughputConfig) ([]ThroughputResult, error) {
+	arms := []struct{ unbatched, gob bool }{
+		{false, false}, // shipping: batched + binary
+		{false, true},  // codec ablation: batched + gob
+		{true, true},   // seed: unbatched + gob
+	}
+	results := make([]ThroughputResult, 0, len(arms))
+	for _, a := range arms {
+		cfg.Unbatched, cfg.GobCodec = a.unbatched, a.gob
+		r, err := Throughput(cfg)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
 }
 
 // RenderThroughput formats results as a table.
 func RenderThroughput(results []ThroughputResult) *Table {
 	t := &Table{
-		Title: "Control-plane throughput: group commit + pipelined replication vs the unbatched ablation",
-		Header: []string{"Batched", "Submitters", "Jobs", "Dispatched/s", "etcd props/s",
-			"cmds/entry", "mongo ops/s", "E2E wall (s)"},
+		Title: "Control-plane throughput: group commit + binary entry codec vs the gob-codec and unbatched ablations",
+		Header: []string{"Batched", "Codec", "Submitters", "Jobs", "Dispatched/s", "etcd props/s",
+			"cmds/entry", "codec cmds/s", "codec allocs", "mongo ops/s", "E2E wall (s)"},
 	}
 	for _, r := range results {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%v", r.Batched), fmt.Sprintf("%d", r.Submitters),
+			fmt.Sprintf("%v", r.Batched), r.Codec, fmt.Sprintf("%d", r.Submitters),
 			fmt.Sprintf("%d", r.Jobs), f2(r.DispatchedPerSec),
 			fmt.Sprintf("%.0f", r.EtcdProposalsPerSec),
-			f2(r.EtcdCmdsPerEntry), fmt.Sprintf("%.0f", r.MongoOpsPerSec),
+			f2(r.EtcdCmdsPerEntry),
+			fmt.Sprintf("%.0f", r.CodecBench.CmdsPerSec),
+			f2(r.CodecBench.AllocsPerOp),
+			fmt.Sprintf("%.0f", r.MongoOpsPerSec),
 			f2(r.E2EWallSeconds),
 		})
 	}
-	if len(results) == 2 && results[0].Batched && !results[1].Batched {
-		var dispatchX, propsX float64
-		if results[1].DispatchedPerSec > 0 {
-			dispatchX = results[0].DispatchedPerSec / results[1].DispatchedPerSec
-		}
-		if results[1].EtcdProposalsPerSec > 0 {
-			propsX = results[0].EtcdProposalsPerSec / results[1].EtcdProposalsPerSec
-		}
-		t.Caption = fmt.Sprintf(
-			"Group commit (%.1f cmds/entry) + pipelined replication: %.1fx submissions dispatched/sec end to end, %.1fx raw etcd proposals/sec vs the unbatched ablation at %d concurrent submitters.",
-			results[0].EtcdCmdsPerEntry, dispatchX, propsX, results[0].Submitters)
+	// Caption ratios against whichever ablation arms are present,
+	// measured from the shipping arm (batched + binary) when it leads.
+	if len(results) < 2 || !results[0].Batched || results[0].Codec != "binary" {
+		return t
 	}
+	ship := results[0]
+	caption := ""
+	ratio := func(num, den float64) float64 {
+		if den > 0 {
+			return num / den
+		}
+		return 0
+	}
+	for _, r := range results[1:] {
+		switch {
+		case r.Batched && r.Codec == "gob":
+			caption += fmt.Sprintf(
+				"Binary entry codec: %.1fx codec round-trips/sec (%.1f vs %.1f allocs/op), %.2fx raw etcd proposals/sec vs the gob-codec ablation. ",
+				ratio(ship.CodecBench.CmdsPerSec, r.CodecBench.CmdsPerSec),
+				ship.CodecBench.AllocsPerOp, r.CodecBench.AllocsPerOp,
+				ratio(ship.EtcdProposalsPerSec, r.EtcdProposalsPerSec))
+		case !r.Batched:
+			caption += fmt.Sprintf(
+				"Vs the seed arm (unbatched + gob) at %d concurrent submitters: %.1fx submissions dispatched/sec end to end, %.1fx raw etcd proposals/sec (group commit at %.1f cmds/entry). ",
+				ship.Submitters,
+				ratio(ship.DispatchedPerSec, r.DispatchedPerSec),
+				ratio(ship.EtcdProposalsPerSec, r.EtcdProposalsPerSec),
+				ship.EtcdCmdsPerEntry)
+		}
+	}
+	t.Caption = strings.TrimSpace(caption)
 	return t
 }

@@ -1,6 +1,10 @@
 package expt
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/ffdl/ffdl/internal/etcd"
+)
 
 // TestThroughputBatchingOutperformsAblation is the acceptance pin for
 // the control-plane throughput work at (reduced) experiment scale:
@@ -42,5 +46,24 @@ func TestThroughputBatchingOutperformsAblation(t *testing.T) {
 	if batched.DispatchedPerSec < unbatched.DispatchedPerSec {
 		t.Fatalf("dispatch rate: batched %.1f/s vs ablation %.1f/s — batching made the platform slower",
 			batched.DispatchedPerSec, unbatched.DispatchedPerSec)
+	}
+}
+
+// TestThroughputCodecMicrostage pins the codec dimension of the
+// throughput artifact without booting a platform: the binary entry
+// codec must beat the gob ablation on both round-trip rate and
+// allocations for the representative Put command BenchCodec measures.
+func TestThroughputCodecMicrostage(t *testing.T) {
+	binary := etcd.BenchCodec(false, 1<<12)
+	gob := etcd.BenchCodec(true, 1<<12)
+	if binary.Codec != "binary" || gob.Codec != "gob" {
+		t.Fatalf("codec labels: %q / %q", binary.Codec, gob.Codec)
+	}
+	if binary.CmdsPerSec <= 0 || gob.CmdsPerSec <= 0 {
+		t.Fatalf("zero rates: binary %+v gob %+v", binary, gob)
+	}
+	if binary.AllocsPerOp >= gob.AllocsPerOp {
+		t.Fatalf("binary codec allocs/op %.1f not below gob %.1f",
+			binary.AllocsPerOp, gob.AllocsPerOp)
 	}
 }

@@ -257,7 +257,11 @@ func In(vs ...any) Op { return Op{Kind: OpIn, List: vs} }
 // Exists builds an $exists condition.
 func Exists(want bool) Op { return Op{Kind: OpExists, Value: want} }
 
-// Matches reports whether doc satisfies the filter.
+// Matches reports whether doc satisfies the filter. This is the
+// interpreted one-shot path: it re-splits every field path on each
+// call, which is fine for matching a single document but quadratic-ish
+// across a candidate scan — the query engine (Find, Count, update,
+// delete) compiles the filter once instead (see Filter.compile).
 func (f Filter) Matches(d Doc) bool {
 	for path, cond := range f {
 		got, present := lookupPath(d, path)
@@ -322,6 +326,111 @@ func (f Filter) Matches(d Doc) bool {
 					return false
 				}
 			}
+		}
+	}
+	return true
+}
+
+// compiledCond is one filter condition with its field path pre-split
+// and its operator dispatch resolved to a closure, so evaluating a
+// candidate document costs only the lookupParts walk plus one indirect
+// call — no per-candidate strings.Split, no per-candidate type switch.
+type compiledCond struct {
+	parts []string
+	match func(got any, present bool) bool
+}
+
+// compiledFilter is a Filter compiled for repeated evaluation. Find,
+// Count, update and delete compile each query once and run the
+// compiled form against every candidate; Filter.Matches remains the
+// interpreted one-shot path for callers matching a single document.
+type compiledFilter []compiledCond
+
+// compile pre-splits every field path and resolves each condition's
+// operator up front.
+func (f Filter) compile() compiledFilter {
+	cf := make(compiledFilter, 0, len(f))
+	for path, cond := range f {
+		cf = append(cf, compiledCond{
+			parts: strings.Split(path, "."),
+			match: compileCond(cond),
+		})
+	}
+	return cf
+}
+
+// compileCond resolves one condition (literal equality or an Op) to a
+// match closure. Behavior is identical to the corresponding branch of
+// Filter.Matches.
+func compileCond(cond any) func(got any, present bool) bool {
+	op, isOp := cond.(Op)
+	if !isOp {
+		return func(got any, present bool) bool { return present && equal(got, cond) }
+	}
+	switch op.Kind {
+	case OpExists:
+		want, _ := op.Value.(bool)
+		return func(_ any, present bool) bool { return present == want }
+	case OpEq:
+		v := op.Value
+		return func(got any, present bool) bool { return present && equal(got, v) }
+	case OpNe:
+		v := op.Value
+		return func(got any, present bool) bool { return !present || !equal(got, v) }
+	case OpIn:
+		list := op.List
+		return func(got any, present bool) bool {
+			if !present {
+				return false
+			}
+			for _, v := range list {
+				if equal(got, v) {
+					return true
+				}
+			}
+			return false
+		}
+	case OpGt, OpGte, OpLt, OpLte:
+		kind, v := op.Kind, op.Value
+		return func(got any, present bool) bool {
+			if !present {
+				return false
+			}
+			c, ok := compare(got, v)
+			if !ok {
+				return false
+			}
+			switch kind {
+			case OpGt:
+				return c > 0
+			case OpGte:
+				return c >= 0
+			case OpLt:
+				return c < 0
+			default:
+				return c <= 0
+			}
+		}
+	default:
+		// Unknown operator: mirror Matches, which requires the field to
+		// be present and comparable and then matches vacuously.
+		v := op.Value
+		return func(got any, present bool) bool {
+			if !present {
+				return false
+			}
+			_, ok := compare(got, v)
+			return ok
+		}
+	}
+}
+
+// matches reports whether doc satisfies the compiled filter.
+func (cf compiledFilter) matches(d Doc) bool {
+	for i := range cf {
+		got, present := lookupParts(d, cf[i].parts)
+		if !cf[i].match(got, present) {
+			return false
 		}
 	}
 	return true
@@ -532,10 +641,11 @@ func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	ids := c.candidatesLocked(f)
+	cf := f.compile()
 	matched := make([]Doc, 0, len(ids))
 	for _, id := range ids {
 		d, ok := c.docs[id]
-		if ok && f.Matches(d) {
+		if ok && cf.matches(d) {
 			matched = append(matched, d)
 		}
 	}
@@ -570,9 +680,10 @@ func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
 func (c *Collection) Count(f Filter) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	cf := f.compile()
 	n := 0
 	for _, id := range c.candidatesLocked(f) {
-		if d, ok := c.docs[id]; ok && f.Matches(d) {
+		if d, ok := c.docs[id]; ok && cf.matches(d) {
 			n++
 		}
 	}
@@ -602,10 +713,11 @@ func (c *Collection) update(f Filter, u Update, limit int) (int, error) {
 	defer c.mu.Unlock()
 	ids := c.candidatesLocked(f)
 	sort.Strings(ids)
+	cf := f.compile()
 	n := 0
 	for _, id := range ids {
 		d, ok := c.docs[id]
-		if !ok || !f.Matches(d) {
+		if !ok || !cf.matches(d) {
 			continue
 		}
 		c.indexRemoveLocked(d, id)
@@ -657,10 +769,11 @@ func (c *Collection) delete(f Filter, limit int) int {
 	defer c.mu.Unlock()
 	ids := c.candidatesLocked(f)
 	sort.Strings(ids)
+	cf := f.compile()
 	n := 0
 	for _, id := range ids {
 		d, ok := c.docs[id]
-		if !ok || !f.Matches(d) {
+		if !ok || !cf.matches(d) {
 			continue
 		}
 		c.indexRemoveLocked(d, id)

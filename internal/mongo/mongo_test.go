@@ -552,3 +552,39 @@ func TestFindMatchesNaiveScanProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCompiledFilterMatchesInterpreted pins that the compiled form the
+// query engine runs (Filter.compile) agrees with the interpreted
+// Filter.Matches for every operator, nested paths, and missing fields.
+func TestCompiledFilterMatchesInterpreted(t *testing.T) {
+	docs := []Doc{
+		{"_id": "a", "gpus": 2, "user": "u0", "status": Doc{"phase": "RUNNING", "retries": 2}},
+		{"_id": "b", "gpus": 7, "user": "u1", "status": Doc{"phase": "FAILED"}},
+		{"_id": "c", "user": "u0"},
+		{"_id": "d", "gpus": "not-a-number"},
+	}
+	filters := []Filter{
+		{"gpus": 2},
+		{"gpus": Gt(1)},
+		{"gpus": Gte(7)},
+		{"gpus": Lt(3)},
+		{"gpus": Lte(2)},
+		{"gpus": Ne(7)},
+		{"gpus": In(1, 2, 3)},
+		{"gpus": Exists(true)},
+		{"gpus": Exists(false)},
+		{"status.phase": "RUNNING"},
+		{"status.phase": Ne("FAILED")},
+		{"status.retries": Gt(1), "user": "u0"},
+		{"missing.deep.path": Exists(false)},
+		{"gpus": Op{Kind: OpKind(99), Value: 1}}, // unknown operator
+	}
+	for _, f := range filters {
+		cf := f.compile()
+		for _, d := range docs {
+			if got, want := cf.matches(d), f.Matches(d); got != want {
+				t.Errorf("filter %v on doc %v: compiled=%v interpreted=%v", f, d, got, want)
+			}
+		}
+	}
+}

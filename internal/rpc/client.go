@@ -1,8 +1,8 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -19,7 +19,7 @@ type call struct {
 type Conn struct {
 	mu     sync.Mutex
 	nc     net.Conn
-	enc    *gob.Encoder
+	wbuf   []byte // reused frame-encode buffer, guarded by mu
 	nextID uint64
 	calls  map[uint64]*call
 	closed bool
@@ -32,9 +32,18 @@ func Dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	c := &Conn{nc: nc, enc: gob.NewEncoder(nc), calls: make(map[uint64]*call)}
+	c := &Conn{nc: nc, calls: make(map[uint64]*call)}
 	go c.readLoop()
 	return c, nil
+}
+
+// writeFrame encodes f into the connection's reused buffer and writes
+// it in one syscall. Callers must hold c.mu (which also serializes
+// frames on the wire).
+func (c *Conn) writeFrame(f *frame) error {
+	c.wbuf = appendFrame(c.wbuf[:0], f)
+	_, err := c.nc.Write(c.wbuf)
+	return err
 }
 
 // Close tears down the connection; in-flight calls fail with
@@ -51,10 +60,12 @@ func (c *Conn) Close() {
 }
 
 func (c *Conn) readLoop() {
-	dec := gob.NewDecoder(c.nc)
+	br := bufio.NewReader(c.nc)
+	// One frame struct reused for the connection's lifetime; only the
+	// fields a frame carries are (re)allocated per read.
+	var f frame
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		if err := readFrame(br, &f); err != nil {
 			c.mu.Lock()
 			c.closed = true
 			calls := c.calls
@@ -104,7 +115,7 @@ func (c *Conn) start(methodName string, arg any) (uint64, *call, error) {
 	id := c.nextID
 	cl := &call{data: make(chan []byte, 16), done: make(chan error, 1)}
 	c.calls[id] = cl
-	err = c.enc.Encode(&frame{Kind: frameCall, ID: id, Method: methodName, Body: body})
+	err = c.writeFrame(&frame{Kind: frameCall, ID: id, Method: methodName, Body: body})
 	c.mu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -122,7 +133,7 @@ func (c *Conn) cancel(id uint64) {
 		return
 	}
 	delete(c.calls, id)
-	c.enc.Encode(&frame{Kind: frameCancel, ID: id}) //nolint:errcheck
+	c.writeFrame(&frame{Kind: frameCancel, ID: id}) //nolint:errcheck
 }
 
 // Call performs a unary RPC, decoding the reply into the pointer reply

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/gob"
@@ -140,17 +141,21 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// connState tracks per-connection call cancellation.
+// connState tracks per-connection call cancellation and the reused
+// frame-encode buffer.
 type connState struct {
 	mu     sync.Mutex
-	enc    *gob.Encoder
+	nc     net.Conn
+	wbuf   []byte // reused frame-encode buffer, guarded by mu
 	cancel map[uint64]context.CancelFunc
 }
 
 func (cs *connState) send(f *frame) error {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	return cs.enc.Encode(f)
+	cs.wbuf = appendFrame(cs.wbuf[:0], f)
+	_, err := cs.nc.Write(cs.wbuf)
+	return err
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -160,13 +165,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	cs := &connState{enc: gob.NewEncoder(conn), cancel: make(map[uint64]context.CancelFunc)}
+	br := bufio.NewReader(conn)
+	cs := &connState{nc: conn, cancel: make(map[uint64]context.CancelFunc)}
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	// The frame struct is reused across reads; dispatch goroutines take
+	// a copy (Body is freshly allocated per frame, so copies never
+	// alias each other).
+	var f frame
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		if err := readFrame(br, &f); err != nil {
 			// Connection closed or corrupted: cancel outstanding calls.
 			cs.mu.Lock()
 			for _, cancel := range cs.cancel {
