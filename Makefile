@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke docs-check ci
+.PHONY: all fmt vet build test race bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke commitlog-smoke docs-check ci
 
 all: build
 
@@ -19,11 +19,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Race gate for the concurrency-heavy admission path: the tenant
-# dispatcher and the scheduler/admission package it drives.
+# Race gate for the concurrency-heavy paths: the tenant dispatcher and
+# the scheduler/admission package it drives, plus the event substrate
+# (every subsystem appends to commit logs under concurrent readers) and
+# the core platform that fans its events out.
 race:
-	$(GO) vet ./internal/tenant/... ./internal/sched/...
-	$(GO) test -race ./internal/tenant/... ./internal/sched/...
+	$(GO) vet ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/...
+	$(GO) test -race -short ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/...
 
 # Perf gate: one iteration of the Table 7 / Fig. 5 scale experiment and
 # of the scheduler scale experiment, so a regression that breaks or
@@ -49,12 +51,15 @@ tenant-smoke:
 	$(GO) run ./cmd/ffdl-bench -tenant -tenant-iters 2 -json bench-tenant.json
 
 # Fuzz gate for the hand-rolled wire codecs: a short coverage-guided
-# run of each roundtrip fuzzer (etcd command entries, RPC frames).
-# Corrupt or truncated input must error, never panic; go's fuzzer
-# allows one -fuzz target per invocation, hence two runs.
+# run of each roundtrip fuzzer (etcd command entries, RPC frames,
+# commit-log segments and consumer-offset maps). Corrupt or truncated
+# input must error, never panic; go's fuzzer allows one -fuzz target
+# per invocation, hence one run each.
 fuzz-smoke:
 	$(GO) test -run=xxx -fuzz=FuzzCommandCodecRoundtrip -fuzztime=10s ./internal/etcd
 	$(GO) test -run=xxx -fuzz=FuzzFrameCodecRoundtrip -fuzztime=10s ./internal/rpc
+	$(GO) test -run=xxx -fuzz=FuzzSegmentRecordRoundtrip -fuzztime=10s ./internal/commitlog
+	$(GO) test -run=xxx -fuzz=FuzzOffsetMapDecode -fuzztime=10s ./internal/commitlog
 
 # Small control-plane throughput run (submissions dispatched/sec +
 # etcd proposals/sec + mongo ops/sec + codec round-trips/sec) across
@@ -64,6 +69,12 @@ fuzz-smoke:
 # baseline.
 throughput-smoke:
 	$(GO) run ./cmd/ffdl-bench -throughput -tp-submitters 32 -tp-jobs 64 -json bench-throughput.json
+
+# Small commit-log run: a crash-torture smoke (any invariant violation
+# fails the gate) plus the replay-vs-resync retention micro-bench;
+# emits the BENCH json artifact CI uploads (bench-commitlog.json).
+commitlog-smoke:
+	$(GO) run ./cmd/ffdl-bench -commitlog -cl-crash 40 -cl-events 4000 -json bench-commitlog.json
 
 # Docs drift gate: README.md must mention every example, and
 # docs/architecture.md must cover every internal package, and the watch
@@ -82,7 +93,7 @@ docs-check:
 		pkg=$$(basename $$d); \
 		grep -q "internal/$$pkg" docs/architecture.md || { echo "docs/architecture.md does not cover internal/$$pkg"; ok=0; }; \
 	done; \
-	for anchor in WatchStream "Store.Watch" "status bus" WatchStatus CompactRevisions TakeDropped "change feed" EventResync Dispatcher; do \
+	for anchor in WatchStream "Store.Watch" "status bus" WatchStatus CompactRevisions TakeDropped "change feed" EventResync Dispatcher commitlog ReplayJob FollowLogs "retained floor"; do \
 		grep -q "$$anchor" docs/watch-protocol.md || { echo "docs/watch-protocol.md does not cover '$$anchor'"; ok=0; }; \
 	done; \
 	grep -q "watch-protocol.md" docs/architecture.md || { echo "docs/architecture.md does not link watch-protocol.md"; ok=0; }; \

@@ -12,6 +12,7 @@
 //	ffdl-bench -watch-churn -churn-jobs 1000 -json bench-watch.json
 //	ffdl-bench -tenant -json bench-tenant.json
 //	ffdl-bench -throughput -tp-submitters 64 -json bench-throughput.json
+//	ffdl-bench -commitlog -json bench-commitlog.json
 package main
 
 import (
@@ -46,7 +47,10 @@ func main() {
 		throughput = flag.Bool("throughput", false, "run the control-plane throughput experiment (batched vs unbatched-ablation etcd)")
 		tpSubs     = flag.Int("tp-submitters", 0, "concurrent submitters for -throughput (0 = default 64)")
 		tpJobs     = flag.Int("tp-jobs", 0, "total submissions for -throughput (0 = default 2x submitters)")
-		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant / -throughput results as JSON to this file")
+		clog       = flag.Bool("commitlog", false, "run the commit-log experiment (crash torture smoke + replay-vs-resync retention cost)")
+		clCrash    = flag.Int("cl-crash", 0, "crash points for -commitlog's torture half (0 = default 40)")
+		clEvents   = flag.Int("cl-events", 0, "published transitions for -commitlog's retention half (0 = default 4000)")
+		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant / -throughput / -commitlog results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -64,6 +68,9 @@ func main() {
 	}
 	if *throughput {
 		payload["throughput"] = runThroughput(*tpSubs, *tpJobs, *seed)
+	}
+	if *clog {
+		payload["commitlog"] = runCommitlog(*clCrash, *clEvents, *seed)
 	}
 	if len(payload) > 0 {
 		writeJSON(*jsonOut, payload)
@@ -215,6 +222,28 @@ func runThroughput(submitters, jobs int, seed int64) []expt.ThroughputResult {
 	}
 	fmt.Println(expt.RenderThroughput(results).String())
 	return results
+}
+
+// runCommitlog runs the commit-log pair (crash torture smoke +
+// replay-vs-resync retention cost), prints the table, and returns the
+// raw results for the BENCH json artifact. Any torture violation is
+// fatal: the event substrate's durability contract is broken.
+func runCommitlog(crashPoints, events int, seed int64) expt.CommitlogResult {
+	res, err := expt.CommitlogRun(expt.CommitlogConfig{
+		TortureCrashPoints: crashPoints, Events: events, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: commitlog: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(expt.RenderCommitlog(res).String())
+	if len(res.Torture.Violations) > 0 {
+		for _, v := range res.Torture.Violations {
+			fmt.Fprintf(os.Stderr, "ffdl-bench: commitlog torture violation: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	return res
 }
 
 // writeJSON writes a result payload to jsonPath ("" = skip).

@@ -6,7 +6,7 @@
 //	    -iterations 1000 -data datasets -prefix demo/
 //	ffdl-cli status <jobID> [-follow]
 //	ffdl-cli list [-user alice]
-//	ffdl-cli logs <jobID> [-search iteration]
+//	ffdl-cli logs <jobID> [-search iteration] [-follow [-from offset]]
 //	ffdl-cli halt|resume|terminate <jobID>
 //	ffdl-cli cluster
 //	ffdl-cli quota get -user alice
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"os"
 
 	"github.com/ffdl/ffdl"
@@ -57,10 +58,16 @@ func main() {
 		needID(rest)
 		fs := flag.NewFlagSet("logs", flag.ExitOnError)
 		search := fs.String("search", "", "substring filter")
+		follow := fs.Bool("follow", false, "stream lines live as learners emit them")
+		from := fs.Uint64("from", 0, "with -follow: resume from this line offset")
 		fs.Parse(rest[1:]) //nolint:errcheck
 		url := *server + "/v1/jobs/" + rest[0] + "/logs"
+		if *follow {
+			followLogs(fmt.Sprintf("%s?follow=1&from=%d", url, *from))
+			return
+		}
 		if *search != "" {
-			url += "?search=" + *search
+			url += "?search=" + neturl.QueryEscape(*search)
 		}
 		logs(url)
 	case "halt", "resume", "terminate":
@@ -289,6 +296,33 @@ func followStatus(url string) {
 			die(err)
 		}
 		fmt.Printf("%s %-12s %s\n", e.Time.Format("15:04:05.000"), e.Status, e.Message)
+	}
+}
+
+// followLogs streams a job's learner log lines (NDJSON) and prints
+// each as it arrives, prefixed with its commit-log offset — the resume
+// token: rerun with -from <last offset + 1> after a disconnect to pick
+// up exactly where the stream left off.
+func followLogs(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		prettyPrint(resp.Body)
+		os.Exit(1)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var l ffdl.LogLine
+		if err := dec.Decode(&l); err != nil {
+			if err == io.EOF {
+				return
+			}
+			die(err)
+		}
+		fmt.Printf("%8d %s learner-%d %s\n", l.Offset, l.Time.Format("15:04:05.000"), l.Learner, l.Text)
 	}
 }
 

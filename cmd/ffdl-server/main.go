@@ -12,7 +12,9 @@
 //	GET  /v1/jobs                list jobs (?user=)
 //	GET  /v1/jobs/{id}           job status + history
 //	GET  /v1/jobs/{id}/watch     stream status transitions (NDJSON, ends at terminal)
-//	GET  /v1/jobs/{id}/logs      collected logs (?search=)
+//	GET  /v1/jobs/{id}/logs      collected logs (?search=), or a live
+//	                             NDJSON stream with ?follow=1&from=<offset>
+//	                             (resumable by LogLine offset)
 //	POST /v1/jobs/{id}/halt      HALT (checkpoint + release GPUs)
 //	POST /v1/jobs/{id}/resume    RESUME from latest checkpoint
 //	POST /v1/jobs/{id}/terminate cancel
@@ -168,6 +170,32 @@ func main() {
 			}
 			writeJSON(w, http.StatusOK, reply)
 		case action == "logs" && r.Method == http.MethodGet:
+			if r.URL.Query().Get("follow") != "" {
+				// Live follow: lines are pushed as NDJSON as learners
+				// emit them. Each line carries its commit-log offset, so
+				// a disconnected client resumes with ?from=<offset+1>
+				// and misses nothing — the job's log outlives any API
+				// replica. The stream runs until the client disconnects.
+				var from uint64
+				if s := r.URL.Query().Get("from"); s != "" {
+					v, perr := strconv.ParseUint(s, 10, 64)
+					if perr != nil {
+						fail(w, http.StatusBadRequest, fmt.Errorf("bad from offset %q", s))
+						return
+					}
+					from = v
+				}
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				flusher, _ := w.(http.Flusher)
+				enc := json.NewEncoder(w)
+				client.FollowLogsFrom(r.Context(), jobID, from, func(l ffdl.LogLine) { //nolint:errcheck
+					if enc.Encode(l) == nil && flusher != nil {
+						flusher.Flush()
+					}
+				})
+				return
+			}
 			var lines []ffdl.LogLine
 			var err error
 			if q := r.URL.Query().Get("search"); q != "" {

@@ -1,0 +1,731 @@
+// Package commitlog is the platform's universal event substrate: an
+// append-only log of (offset, key, payload) records split into bounded
+// segments, with key-compaction of sealed segments, offset-addressed
+// readers, and a persisted consumer-offset map — one retention
+// mechanism instead of the three bespoke in-memory rings it replaced
+// (the etcd watch-history ring, the status-bus buffers, and the mongo
+// oplog's silent half-drop at 64k entries).
+//
+// Durability is pluggable through SegmentStore: the simulation runs on
+// MemStore, FileStore persists segments on disk, and FaultStore wraps
+// either with crash/corruption injection for the torture suite
+// (Torture). The Log keeps a decoded in-memory index of every retained
+// record and writes through to the store, so reads never touch the
+// store; Open replays the store back, truncating any torn tail.
+//
+// Guarantees (pinned by the torture and property tests):
+//
+//   - Offsets are unique and strictly increasing, never reused — even
+//     across a crash that loses a suffix of the log (Open resumes
+//     allocation past every persisted consumer cursor).
+//   - A recovered log is a prefix of what was appended: a torn tail is
+//     truncated, nothing mid-log is silently dropped.
+//   - A consumer cursor persisted with Commit is recovered as the
+//     newest fully-durable commit; replaying from it re-reads exactly
+//     the records the consumer had not yet processed.
+//   - Key-compaction of sealed segments preserves the latest record of
+//     every key, and never drops a record at or past the floor of the
+//     registered consumers' cursors — a live consumer's position is
+//     never compacted out from under it.
+package commitlog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Record is one appended entry. Offset is assigned by the log; Key is
+// the compaction identity ("" = never superseded); Payload is the
+// durable body.
+//
+// Value is an optional in-memory companion the simulation's hot paths
+// use to skip payload codecs: it rides the in-memory index, is
+// returned by readers, but is NOT persisted — a log reopened from a
+// store sees only Payload. In-memory logs (MemStore) lose nothing;
+// file-backed logs should encode everything into Payload.
+type Record struct {
+	Offset  uint64
+	Key     string
+	Payload []byte
+	Value   any
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// FirstOffset is the offset of the first record ever appended
+	// (default 0). The mongo oplog sets 1 so offsets coincide with its
+	// historical 1-based sequence numbers.
+	FirstOffset uint64
+	// SegmentRecords seals the active segment after this many records
+	// (default 1024).
+	SegmentRecords int
+	// SegmentBytes seals the active segment after this many encoded
+	// bytes (default 1 MiB).
+	SegmentBytes int64
+	// Compact key-compacts segments as they seal: records superseded
+	// by a later record with the same key are dropped, except at or
+	// past the registered-consumer floor.
+	Compact bool
+	// MaxSegments bounds the sealed-segment count. With Compact, the
+	// two oldest sealed segments are merged (no records lost beyond
+	// compaction's latest-per-key rule); without it, the oldest
+	// segment is dropped entirely — but never past a registered
+	// consumer's cursor. 0 = unbounded (the owner trims explicitly via
+	// TruncateBefore).
+	MaxSegments int
+	// OffsetsRewriteEvery bounds the offsets log: after this many
+	// appended commit frames it is rewritten to a single frame
+	// (default 256).
+	OffsetsRewriteEvery int
+}
+
+func (o *Options) defaults() {
+	if o.SegmentRecords <= 0 {
+		o.SegmentRecords = 1024
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.OffsetsRewriteEvery <= 0 {
+		o.OffsetsRewriteEvery = 256
+	}
+}
+
+// Log errors.
+var (
+	// ErrEnd reports a reader caught up with the log's end.
+	ErrEnd = errors.New("commitlog: end of log")
+	// ErrTruncatedBefore reports a read below the retention floor: the
+	// records were truncated and the consumer must resync from current
+	// state instead of replaying.
+	ErrTruncatedBefore = errors.New("commitlog: offset truncated from log")
+	// ErrDead reports an append or commit after a store write failed;
+	// the log is read-only from the first failed write (the in-memory
+	// index never runs ahead of the store).
+	ErrDead = errors.New("commitlog: store failed; log is read-only")
+)
+
+// segment is one bounded run of records. recs hold the decoded index;
+// bytes mirrors the store-side encoded size.
+type segment struct {
+	base   uint64 // offset the segment was opened at (store name)
+	recs   []Record
+	bytes  int64
+	sealed bool
+}
+
+// lastOffset returns the segment's final record offset (ok=false when
+// empty).
+func (s *segment) lastOffset() (uint64, bool) {
+	if len(s.recs) == 0 {
+		return 0, false
+	}
+	return s.recs[len(s.recs)-1].Offset, true
+}
+
+// Log is a segmented, compacting commit log. Safe for concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	store SegmentStore
+	opts  Options
+
+	segments []*segment // ascending base; last is active
+	oldest   uint64     // logical retention floor (first readable offset)
+	next     uint64     // next offset to assign
+	records  int        // retained record count across segments
+
+	consumers map[string]uint64 // consumer -> next unprocessed offset
+	offGen    uint64            // generation of the last offsets commit
+	offFrames int               // frames appended since last rewrite
+
+	encBuf []byte // reused frame-encode scratch
+	dead   error  // first store failure; log is read-only after
+
+	// Counters for the retention bench and tests.
+	statCompactedRecords uint64 // records dropped by key-compaction
+	statDroppedSegments  uint64 // segments dropped by retention
+}
+
+func (l *Log) lock()   { l.mu.Lock() }
+func (l *Log) unlock() { l.mu.Unlock() }
+
+// Open replays store into a ready Log. A torn tail on the newest
+// segment (or, after corruption, any segment) is truncated — in the
+// store too — and every segment after a torn one is discarded, so the
+// recovered log is always a clean prefix. Consumer cursors come from
+// the newest fully-valid offsets commit; offset allocation resumes
+// past both the last record and every recovered cursor, so offsets are
+// never reused for different records.
+func Open(store SegmentStore, opts Options) (*Log, error) {
+	opts.defaults()
+	l := &Log{
+		store:     store,
+		opts:      opts,
+		oldest:    opts.FirstOffset,
+		next:      opts.FirstOffset,
+		consumers: make(map[string]uint64),
+	}
+	bases, err := store.Segments()
+	if err != nil {
+		return nil, fmt.Errorf("commitlog: open: %w", err)
+	}
+	torn := false
+	for _, base := range bases {
+		if torn {
+			// Everything after a torn segment is suspect: drop it so
+			// the recovered log stays a prefix.
+			if err := store.Remove(base); err != nil {
+				return nil, fmt.Errorf("commitlog: open: drop segment %d: %w", base, err)
+			}
+			continue
+		}
+		data, err := store.Load(base)
+		if err != nil {
+			return nil, fmt.Errorf("commitlog: open: load segment %d: %w", base, err)
+		}
+		recs, validLen, tornErr := decodeSegment(data)
+		if tornErr != nil {
+			torn = true
+			if err := store.Rewrite(base, data[:validLen]); err != nil {
+				return nil, fmt.Errorf("commitlog: open: truncate torn segment %d: %w", base, err)
+			}
+		}
+		seg := &segment{base: base, recs: recs, bytes: int64(validLen), sealed: true}
+		l.segments = append(l.segments, seg)
+		if last, ok := seg.lastOffset(); ok && last >= l.next {
+			l.next = last + 1
+		}
+		l.records += len(recs)
+	}
+	// Drop empty segments from the index (fresh actives and crash
+	// leftovers hold no records); a later roll landing on the same
+	// base reuses the store file.
+	kept := l.segments[:0]
+	for _, seg := range l.segments {
+		if len(seg.recs) > 0 {
+			kept = append(kept, seg)
+		}
+	}
+	l.segments = kept
+	if len(l.segments) > 0 {
+		l.oldest = l.segments[0].recs[0].Offset
+	}
+	offData, err := store.LoadOffsets()
+	if err != nil {
+		return nil, fmt.Errorf("commitlog: open: offsets: %w", err)
+	}
+	if entries, gen, ok := decodeOffsetsLog(offData); ok {
+		l.offGen = gen
+		for _, e := range entries {
+			l.consumers[e.name] = e.next
+			// Never hand out an offset a consumer already accounts
+			// for: records past the recovered log end that a consumer
+			// had consumed must not be re-minted with new contents.
+			if e.next > l.next {
+				l.next = e.next
+			}
+		}
+	}
+	// Always roll a fresh active segment at the resume offset: every
+	// recovered segment stays sealed, so a reopened log never appends
+	// into bytes it did not fully validate.
+	if err := l.rollLocked(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// rollLocked seals the active segment and opens a new one at the next
+// offset.
+func (l *Log) rollLocked() error {
+	if n := len(l.segments); n > 0 {
+		l.segments[n-1].sealed = true
+	}
+	if err := l.store.Create(l.next); err != nil {
+		l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+		return l.dead
+	}
+	l.segments = append(l.segments, &segment{base: l.next})
+	return nil
+}
+
+// Append appends a record and returns its offset. The payload is
+// copied; the key is retained as passed.
+func (l *Log) Append(key string, payload []byte) (uint64, error) {
+	return l.append(key, payload, nil)
+}
+
+// AppendValue appends a record whose body is the in-memory value
+// (payload stays empty on the wire — see Record.Value).
+func (l *Log) AppendValue(key string, value any) (uint64, error) {
+	return l.append(key, nil, value)
+}
+
+func (l *Log) append(key string, payload []byte, value any) (uint64, error) {
+	l.lock()
+	defer l.unlock()
+	if l.dead != nil {
+		return 0, l.dead
+	}
+	off := l.next
+	l.encBuf = appendRecordFrame(l.encBuf[:0], off, key, payload)
+	active := l.segments[len(l.segments)-1]
+	n, err := l.store.Append(active.base, l.encBuf)
+	if err != nil || n < len(l.encBuf) {
+		if err == nil {
+			err = fmt.Errorf("commitlog: short append (%d of %d bytes)", n, len(l.encBuf))
+		}
+		// The record is not (fully) durable: poison the log rather
+		// than let the in-memory index diverge from the store.
+		l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+		return 0, l.dead
+	}
+	rec := Record{Offset: off, Key: key, Value: value}
+	if len(payload) > 0 {
+		rec.Payload = append([]byte(nil), payload...)
+	}
+	active.recs = append(active.recs, rec)
+	active.bytes += int64(len(l.encBuf))
+	l.records++
+	l.next = off + 1
+	if len(active.recs) >= l.opts.SegmentRecords || active.bytes >= l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			return off, err // the record itself is durable
+		}
+		l.maintainLocked()
+	}
+	return off, nil
+}
+
+// consumerFloorLocked returns the smallest registered consumer cursor
+// (ok=false with no consumers).
+func (l *Log) consumerFloorLocked() (uint64, bool) {
+	first := true
+	var floor uint64
+	for _, next := range l.consumers {
+		if first || next < floor {
+			floor, first = next, false
+		}
+	}
+	return floor, !first
+}
+
+// maintainLocked enforces compaction and the segment-count bound after
+// a seal. Store failures poison the log like any other write failure.
+func (l *Log) maintainLocked() {
+	if l.dead != nil {
+		return
+	}
+	if l.opts.Compact && len(l.segments) >= 2 {
+		// Compact the segment that just sealed.
+		l.compactSegmentsLocked(len(l.segments)-2, len(l.segments)-1)
+	}
+	if l.opts.MaxSegments <= 0 {
+		return
+	}
+	for len(l.segments)-1 > l.opts.MaxSegments && l.dead == nil {
+		if l.opts.Compact {
+			// Merge the two oldest sealed segments; latest-per-key
+			// retention means the merged result stays bounded.
+			if !l.mergeOldestLocked() {
+				return
+			}
+		} else if !l.dropOldestLocked() {
+			return
+		}
+	}
+}
+
+// latestPerKeyLocked builds the newest-offset-per-key view across the
+// whole retained log.
+func (l *Log) latestPerKeyLocked() map[string]uint64 {
+	latest := make(map[string]uint64)
+	for _, seg := range l.segments {
+		for _, r := range seg.recs {
+			if r.Key == "" {
+				continue
+			}
+			if cur, ok := latest[r.Key]; !ok || r.Offset > cur {
+				latest[r.Key] = r.Offset
+			}
+		}
+	}
+	return latest
+}
+
+// compactableLocked reports whether rec may be dropped by compaction:
+// superseded by a newer record with the same key, and strictly below
+// every registered consumer's cursor.
+func (l *Log) compactableLocked(rec Record, latest map[string]uint64) bool {
+	if rec.Key == "" {
+		return false
+	}
+	if latest[rec.Key] <= rec.Offset {
+		return false
+	}
+	if floor, ok := l.consumerFloorLocked(); ok && rec.Offset >= floor {
+		return false
+	}
+	return true
+}
+
+// compactSegmentsLocked key-compacts the sealed segments in [from,to).
+func (l *Log) compactSegmentsLocked(from, to int) {
+	latest := l.latestPerKeyLocked()
+	for i := from; i < to; i++ {
+		seg := l.segments[i]
+		if !seg.sealed {
+			continue
+		}
+		kept := seg.recs[:0:0]
+		for _, r := range seg.recs {
+			if !l.compactableLocked(r, latest) {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == len(seg.recs) {
+			continue
+		}
+		l.statCompactedRecords += uint64(len(seg.recs) - len(kept))
+		l.records -= len(seg.recs) - len(kept)
+		data := encodeRecords(kept)
+		if err := l.store.Rewrite(seg.base, data); err != nil {
+			l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+			return
+		}
+		seg.recs = kept
+		seg.bytes = int64(len(data))
+	}
+}
+
+// mergeOldestLocked folds the second-oldest sealed segment into the
+// oldest, compacting as it merges, so the old region of the log stays
+// bounded by key cardinality (plus the consumer pin) rather than
+// growing with write volume.
+func (l *Log) mergeOldestLocked() bool {
+	if len(l.segments) < 3 { // need two sealed + active
+		return false
+	}
+	a, b := l.segments[0], l.segments[1]
+	if !a.sealed || !b.sealed {
+		return false
+	}
+	latest := l.latestPerKeyLocked()
+	merged := make([]Record, 0, len(a.recs)+len(b.recs))
+	for _, r := range a.recs {
+		if !l.compactableLocked(r, latest) {
+			merged = append(merged, r)
+		}
+	}
+	for _, r := range b.recs {
+		if !l.compactableLocked(r, latest) {
+			merged = append(merged, r)
+		}
+	}
+	l.statCompactedRecords += uint64(len(a.recs) + len(b.recs) - len(merged))
+	l.records -= len(a.recs) + len(b.recs) - len(merged)
+	data := encodeRecords(merged)
+	if err := l.store.Rewrite(a.base, data); err != nil {
+		l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+		return false
+	}
+	if err := l.store.Remove(b.base); err != nil {
+		l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+		return false
+	}
+	a.recs = merged
+	a.bytes = int64(len(data))
+	l.segments = append(l.segments[:1], l.segments[2:]...)
+	return true
+}
+
+// dropOldestLocked removes the oldest sealed segment entirely, unless
+// a registered consumer still needs one of its records.
+func (l *Log) dropOldestLocked() bool {
+	if len(l.segments) < 2 {
+		return false
+	}
+	seg := l.segments[0]
+	if last, ok := seg.lastOffset(); ok {
+		if floor, hasFloor := l.consumerFloorLocked(); hasFloor && last >= floor {
+			return false // a live consumer would lose unseen records
+		}
+		l.oldest = last + 1
+	}
+	if err := l.store.Remove(seg.base); err != nil {
+		l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+		return false
+	}
+	l.records -= len(seg.recs)
+	l.statDroppedSegments++
+	l.segments = l.segments[1:]
+	return true
+}
+
+// encodeRecords re-encodes records into fresh segment bytes (used by
+// compaction rewrites and merges).
+func encodeRecords(recs []Record) []byte {
+	var data []byte
+	for _, r := range recs {
+		data = appendRecordFrame(data, r.Offset, r.Key, r.Payload)
+	}
+	return data
+}
+
+// TruncateBefore raises the retention floor to offset: records below
+// it become unreadable immediately, and whole segments below it are
+// removed from the store. Returns the new floor (which may be lower
+// than requested only if the log is empty).
+func (l *Log) TruncateBefore(offset uint64) error {
+	l.lock()
+	defer l.unlock()
+	if offset > l.next {
+		offset = l.next
+	}
+	if offset <= l.oldest {
+		return nil
+	}
+	l.oldest = offset
+	for len(l.segments) > 1 {
+		seg := l.segments[0]
+		last, ok := seg.lastOffset()
+		if ok && last >= offset {
+			break
+		}
+		if err := l.store.Remove(seg.base); err != nil {
+			l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+			return l.dead
+		}
+		l.records -= len(seg.recs)
+		l.statDroppedSegments++
+		l.segments = l.segments[1:]
+	}
+	// Trim the boundary segment's in-memory index; its store bytes are
+	// reclaimed when the whole segment ages out (physical removal is
+	// segment-granular, logical truncation is exact).
+	seg := l.segments[0]
+	cut := sort.Search(len(seg.recs), func(i int) bool { return seg.recs[i].Offset >= offset })
+	if cut > 0 {
+		l.records -= cut
+		seg.recs = seg.recs[cut:]
+	}
+	return nil
+}
+
+// Compact key-compacts every sealed segment now (the per-seal pass
+// runs automatically; this is for owners that want an explicit sweep).
+func (l *Log) Compact() error {
+	l.lock()
+	defer l.unlock()
+	if l.dead != nil {
+		return l.dead
+	}
+	l.compactSegmentsLocked(0, len(l.segments))
+	return l.dead
+}
+
+// Commit durably persists a consumer's cursor: next is the offset of
+// the first record the consumer has not processed. The first Commit
+// registers the consumer, which from then on pins compaction and
+// retention at or past its cursor.
+func (l *Log) Commit(consumer string, next uint64) error {
+	l.lock()
+	defer l.unlock()
+	if l.dead != nil {
+		return l.dead
+	}
+	l.consumers[consumer] = next
+	return l.persistOffsetsLocked()
+}
+
+// Forget durably removes a consumer's cursor, releasing its pin.
+func (l *Log) Forget(consumer string) error {
+	l.lock()
+	defer l.unlock()
+	if _, ok := l.consumers[consumer]; !ok {
+		return nil
+	}
+	if l.dead != nil {
+		return l.dead
+	}
+	delete(l.consumers, consumer)
+	return l.persistOffsetsLocked()
+}
+
+func (l *Log) persistOffsetsLocked() error {
+	l.offGen++
+	entries := make([]offsetEntry, 0, len(l.consumers))
+	for name, next := range l.consumers {
+		entries = append(entries, offsetEntry{name: name, next: next})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	frame := appendOffsetsFrame(nil, l.offGen, entries)
+	if l.offFrames+1 >= l.opts.OffsetsRewriteEvery {
+		if err := l.store.RewriteOffsets(frame); err != nil {
+			l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+			return l.dead
+		}
+		l.offFrames = 0
+		return nil
+	}
+	n, err := l.store.AppendOffsets(frame)
+	if err != nil || n < len(frame) {
+		if err == nil {
+			err = fmt.Errorf("commitlog: short offsets append")
+		}
+		l.dead = fmt.Errorf("%w: %v", ErrDead, err)
+		return l.dead
+	}
+	l.offFrames++
+	return nil
+}
+
+// Committed returns a consumer's persisted cursor.
+func (l *Log) Committed(consumer string) (uint64, bool) {
+	l.lock()
+	defer l.unlock()
+	next, ok := l.consumers[consumer]
+	return next, ok
+}
+
+// Consumers returns the registered consumer names (sorted).
+func (l *Log) Consumers() []string {
+	l.lock()
+	defer l.unlock()
+	out := make([]string, 0, len(l.consumers))
+	for name := range l.consumers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OldestOffset returns the retention floor: the smallest offset that
+// can still be read (reading below it returns ErrTruncatedBefore).
+func (l *Log) OldestOffset() uint64 {
+	l.lock()
+	defer l.unlock()
+	return l.oldest
+}
+
+// NextOffset returns the offset the next Append will assign.
+func (l *Log) NextOffset() uint64 {
+	l.lock()
+	defer l.unlock()
+	return l.next
+}
+
+// Len returns the retained record count.
+func (l *Log) Len() int {
+	l.lock()
+	defer l.unlock()
+	return l.records
+}
+
+// SegmentCount returns the number of segments (including the active
+// one).
+func (l *Log) SegmentCount() int {
+	l.lock()
+	defer l.unlock()
+	return len(l.segments)
+}
+
+// CompactedRecords returns how many records key-compaction dropped.
+func (l *Log) CompactedRecords() uint64 {
+	l.lock()
+	defer l.unlock()
+	return l.statCompactedRecords
+}
+
+// Get returns the record at exactly offset.
+func (l *Log) Get(offset uint64) (Record, bool) {
+	l.lock()
+	defer l.unlock()
+	rec, _, ok := l.atOrAfterLocked(offset)
+	if !ok || rec.Offset != offset {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// atOrAfterLocked returns the first record with Offset >= offset, its
+// successor offset, and whether one exists.
+func (l *Log) atOrAfterLocked(offset uint64) (Record, uint64, bool) {
+	// Find the first segment whose last record reaches offset.
+	i := sort.Search(len(l.segments), func(i int) bool {
+		last, ok := l.segments[i].lastOffset()
+		return ok && last >= offset
+	})
+	for ; i < len(l.segments); i++ {
+		recs := l.segments[i].recs
+		j := sort.Search(len(recs), func(j int) bool { return recs[j].Offset >= offset })
+		if j < len(recs) {
+			return recs[j], recs[j].Offset + 1, true
+		}
+	}
+	return Record{}, 0, false
+}
+
+// Records returns a copy of every retained record with Offset >= from
+// (compaction holes skipped) — the bulk-replay convenience readers
+// wrap.
+func (l *Log) Records(from uint64) []Record {
+	l.lock()
+	defer l.unlock()
+	if from < l.oldest {
+		from = l.oldest
+	}
+	var out []Record
+	for _, seg := range l.segments {
+		if last, ok := seg.lastOffset(); !ok || last < from {
+			continue
+		}
+		for _, r := range seg.recs {
+			if r.Offset >= from {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// ReadFrom returns a reader positioned at offset. A reader is a
+// cursor, not a snapshot: it observes appends made after it was
+// created, skips compaction holes, and reports ErrTruncatedBefore if
+// retention overtakes it (the consumer's cue to resync from current
+// state rather than replay).
+func (l *Log) ReadFrom(offset uint64) *Reader {
+	return &Reader{l: l, next: offset}
+}
+
+// Reader iterates records in offset order.
+type Reader struct {
+	l    *Log
+	next uint64
+}
+
+// Next returns the next retained record, ErrEnd at the log's end, or
+// ErrTruncatedBefore when the reader's position has fallen below the
+// retention floor.
+func (r *Reader) Next() (Record, error) {
+	r.l.lock()
+	defer r.l.unlock()
+	if r.next < r.l.oldest {
+		return Record{}, ErrTruncatedBefore
+	}
+	rec, succ, ok := r.l.atOrAfterLocked(r.next)
+	if !ok {
+		return Record{}, ErrEnd
+	}
+	r.next = succ
+	return rec, nil
+}
+
+// Offset returns the reader's position: the offset the next Next call
+// reads from.
+func (r *Reader) Offset() uint64 { return r.next }
+
+// Seek repositions the reader.
+func (r *Reader) Seek(offset uint64) { r.next = offset }

@@ -1,0 +1,297 @@
+package commitlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SegmentStore is the durability layer under a Log: a set of segment
+// byte streams named by base offset, plus an append-only offsets log
+// for consumer-cursor commits. The Log keeps the decoded record index
+// in memory and calls the store write-through, so a store is only read
+// back at Open (recovery).
+//
+// Write-ordering contract: the Log issues writes in commit order and a
+// store must make them durable in that order (the FaultStore crash
+// model — "every byte before the crash point is durable, the write
+// containing it is torn, everything after is lost" — depends on it).
+//
+// Append may perform a partial write: it returns the bytes actually
+// written along with the error. Rewrite and RewriteOffsets are
+// atomic: they either fully replace the target or leave it untouched
+// (the file store stages into a temp file and renames).
+type SegmentStore interface {
+	// Segments lists existing segment base offsets, ascending.
+	Segments() ([]uint64, error)
+	// Create adds an empty segment.
+	Create(base uint64) error
+	// Append appends data to segment base, returning bytes written.
+	Append(base uint64, data []byte) (int, error)
+	// Load returns segment base's full contents.
+	Load(base uint64) ([]byte, error)
+	// Rewrite atomically replaces segment base's contents (compaction).
+	Rewrite(base uint64, data []byte) error
+	// Remove deletes segment base (retention).
+	Remove(base uint64) error
+	// AppendOffsets appends one offset-map commit frame.
+	AppendOffsets(data []byte) (int, error)
+	// LoadOffsets returns the offsets log's full contents.
+	LoadOffsets() ([]byte, error)
+	// RewriteOffsets atomically replaces the offsets log (shrinking it
+	// to a single frame once it accumulates dead commits).
+	RewriteOffsets(data []byte) error
+}
+
+// ErrNoSegment reports access to a segment the store does not hold.
+var ErrNoSegment = errors.New("commitlog: no such segment")
+
+// MemStore is the in-memory SegmentStore the simulation runs on: the
+// etcd watch history, status bus and mongo oplog logs all ride it.
+// It is safe for concurrent use, though the owning Log serializes
+// writes anyway.
+type MemStore struct {
+	mu       sync.Mutex
+	segments map[uint64][]byte
+	offsets  []byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{segments: make(map[uint64][]byte)}
+}
+
+// Segments implements SegmentStore.
+func (m *MemStore) Segments() ([]uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.segments))
+	for b := range m.segments {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Create implements SegmentStore.
+func (m *MemStore) Create(base uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.segments[base]; !ok {
+		m.segments[base] = nil
+	}
+	return nil
+}
+
+// Append implements SegmentStore.
+func (m *MemStore) Append(base uint64, data []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.segments[base]; !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSegment, base)
+	}
+	m.segments[base] = append(m.segments[base], data...)
+	return len(data), nil
+}
+
+// Load implements SegmentStore.
+func (m *MemStore) Load(base uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.segments[base]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSegment, base)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Rewrite implements SegmentStore.
+func (m *MemStore) Rewrite(base uint64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.segments[base]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSegment, base)
+	}
+	m.segments[base] = append([]byte(nil), data...)
+	return nil
+}
+
+// Remove implements SegmentStore.
+func (m *MemStore) Remove(base uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.segments, base)
+	return nil
+}
+
+// AppendOffsets implements SegmentStore.
+func (m *MemStore) AppendOffsets(data []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.offsets = append(m.offsets, data...)
+	return len(data), nil
+}
+
+// LoadOffsets implements SegmentStore.
+func (m *MemStore) LoadOffsets() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.offsets...), nil
+}
+
+// RewriteOffsets implements SegmentStore.
+func (m *MemStore) RewriteOffsets(data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.offsets = append([]byte(nil), data...)
+	return nil
+}
+
+// FileStore is the file-backed SegmentStore: one "<base>.seg" file per
+// segment plus an "offsets.log" of commit frames, all in one
+// directory. It is the durability arm the crash torture suite drives
+// (wrapped in a FaultStore); recovery semantics — torn-tail
+// truncation, last-valid-commit offset recovery — live in Open, which
+// reads the store back.
+type FileStore struct {
+	dir string
+}
+
+const (
+	segSuffix   = ".seg"
+	tmpSuffix   = ".tmp"
+	offsetsName = "offsets.log"
+)
+
+// OpenFileStore opens (creating if needed) a file store rooted at dir.
+// Stale temp files from a crashed compaction rewrite are discarded.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("commitlog: open file store: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("commitlog: open file store: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			os.Remove(filepath.Join(dir, e.Name())) //nolint:errcheck // best-effort cleanup
+		}
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (f *FileStore) segPath(base uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%020d%s", base, segSuffix))
+}
+
+// Segments implements SegmentStore.
+func (f *FileStore) Segments() ([]uint64, error) {
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; not ours to manage
+		}
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Create implements SegmentStore.
+func (f *FileStore) Create(base uint64) error {
+	file, err := os.OpenFile(f.segPath(base), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+// appendFile appends data to path, returning bytes written.
+func appendFile(path string, data []byte) (int, error) {
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	n, err := file.Write(data)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// Append implements SegmentStore.
+func (f *FileStore) Append(base uint64, data []byte) (int, error) {
+	if _, err := os.Stat(f.segPath(base)); err != nil {
+		return 0, fmt.Errorf("%w: %d", ErrNoSegment, base)
+	}
+	return appendFile(f.segPath(base), data)
+}
+
+// Load implements SegmentStore.
+func (f *FileStore) Load(base uint64) ([]byte, error) {
+	data, err := os.ReadFile(f.segPath(base))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSegment, base)
+	}
+	return data, err
+}
+
+// rewriteFile atomically replaces path via a temp file + rename.
+func rewriteFile(path string, data []byte) error {
+	tmp := path + tmpSuffix
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Rewrite implements SegmentStore.
+func (f *FileStore) Rewrite(base uint64, data []byte) error {
+	if _, err := os.Stat(f.segPath(base)); err != nil {
+		return fmt.Errorf("%w: %d", ErrNoSegment, base)
+	}
+	return rewriteFile(f.segPath(base), data)
+}
+
+// Remove implements SegmentStore.
+func (f *FileStore) Remove(base uint64) error {
+	err := os.Remove(f.segPath(base))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// AppendOffsets implements SegmentStore.
+func (f *FileStore) AppendOffsets(data []byte) (int, error) {
+	return appendFile(filepath.Join(f.dir, offsetsName), data)
+}
+
+// LoadOffsets implements SegmentStore.
+func (f *FileStore) LoadOffsets() ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(f.dir, offsetsName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// RewriteOffsets implements SegmentStore.
+func (f *FileStore) RewriteOffsets(data []byte) error {
+	return rewriteFile(filepath.Join(f.dir, offsetsName), data)
+}

@@ -57,13 +57,18 @@ type ListArgs struct{ User string }
 type ListReply struct{ Jobs []JobRecord }
 
 // LogsArgs requests a job's logs; Follow streams live lines.
+// FromOffset resumes from a line offset (LogLine.Offset): only lines
+// with Offset >= FromOffset are delivered, so a follower can reconnect
+// — across client retries or API replica restarts — without missing or
+// duplicating lines.
 type LogsArgs struct {
-	JobID  string
-	Follow bool
-	Search string
+	JobID      string
+	Follow     bool
+	Search     string
+	FromOffset uint64
 }
 
-// LogItem is one streamed log line.
+// LogItem is one streamed log line; Line.Offset is the resume token.
 type LogItem struct{ Line LogLine }
 
 // WatchArgs opens a status watch stream from a history sequence number
@@ -291,12 +296,6 @@ func (a *apiReplica) control(verb string) rpc.Handler {
 // irrespective of the stage it is in", §2).
 func (a *apiReplica) handleLogs(ctx context.Context, arg any, send func(any) error) error {
 	req := arg.(LogsArgs)
-	var backlog []LogLine
-	if req.Search != "" {
-		backlog = a.p.Metrics.SearchLogs(req.JobID, req.Search)
-	} else {
-		backlog = a.p.Metrics.Logs(req.JobID)
-	}
 	var live <-chan LogLine
 	var cancel func()
 	if req.Follow {
@@ -304,11 +303,20 @@ func (a *apiReplica) handleLogs(ctx context.Context, arg any, send func(any) err
 		live, cancel = a.p.Metrics.StreamLogs(req.JobID)
 		defer cancel()
 	}
-	sent := len(backlog)
+	backlog := a.p.Metrics.LogsFrom(req.JobID, req.FromOffset)
+	// next is the first undelivered line offset: the backlog/live seam
+	// and any lines buffered on both sides dedup by offset, not by
+	// counting.
+	next := req.FromOffset
 	for _, l := range backlog {
+		if req.Search != "" && !strings.Contains(l.Text, req.Search) {
+			next = l.Offset + 1
+			continue
+		}
 		if err := send(LogItem{Line: l}); err != nil {
 			return err
 		}
+		next = l.Offset + 1
 	}
 	if !req.Follow {
 		return nil
@@ -321,12 +329,11 @@ func (a *apiReplica) handleLogs(ctx context.Context, arg any, send func(any) err
 			if !ok {
 				return nil
 			}
-			if req.Search != "" && !strings.Contains(l.Text, req.Search) {
-				continue
+			if l.Offset < next {
+				continue // already sent from the backlog
 			}
-			// Drop duplicates that were both in backlog and buffered.
-			if sent > 0 {
-				sent--
+			next = l.Offset + 1
+			if req.Search != "" && !strings.Contains(l.Text, req.Search) {
 				continue
 			}
 			if err := send(LogItem{Line: l}); err != nil {
@@ -365,8 +372,26 @@ func (a *apiReplica) handleWatch(ctx context.Context, arg any, send func(any) er
 		}
 		return rec.Status.Terminal(), nil
 	}
-	if done, err := refill(); err != nil || done {
-		return err
+	// Fast path: a reconnecting watcher whose resume point is still in
+	// the bus's commit log replays from there — no MongoDB read. The
+	// replay is only taken when provably complete (contiguous from
+	// FromSeq); otherwise fall back to the durable refill.
+	if evs, replayed := a.p.bus.ReplayJob(req.JobID, next); replayed {
+		a.p.Metrics.Inc("watch.replays")
+		for _, ev := range evs {
+			if err := send(StatusItem{Seq: ev.Seq, Entry: ev.Entry}); err != nil {
+				return err
+			}
+			next = ev.Seq + 1
+			if ev.Status.Terminal() {
+				return nil
+			}
+		}
+	} else {
+		a.p.Metrics.Inc("watch.refills")
+		if done, err := refill(); err != nil || done {
+			return err
+		}
 	}
 	// Safety tick: the bus drops events for slow subscribers, and a
 	// dropped *terminal* event has no successor to reveal the gap, so
@@ -574,13 +599,46 @@ func (c *Client) logs(ctx context.Context, args LogsArgs) ([]LogLine, error) {
 }
 
 // FollowLogs streams live logs until ctx is cancelled, invoking fn per
-// line.
+// line. Like WatchStatus, the stream transparently reconnects across
+// API replica crashes, resuming from the last delivered line's offset —
+// the job's log lives in the platform's commit log, not the replica —
+// so no line is missed or duplicated end-to-end.
 func (c *Client) FollowLogs(ctx context.Context, jobID string, fn func(LogLine)) error {
-	sr, err := c.api.Stream(ctx, "API.Logs", LogsArgs{JobID: jobID, Follow: true})
-	if err != nil {
-		return err
+	return c.FollowLogsFrom(ctx, jobID, 0, fn)
+}
+
+// FollowLogsFrom is FollowLogs resuming from a line offset: only lines
+// with Offset >= from are delivered. This is the CLI's end-to-end
+// resume path — a follower that remembers the last printed offset can
+// reconnect after its own restart, not just the replica's, without
+// gaps or duplicates.
+func (c *Client) FollowLogsFrom(ctx context.Context, jobID string, from uint64, fn func(LogLine)) error {
+	next := from
+	for {
+		sr, err := c.api.Stream(ctx, "API.Logs", LogsArgs{JobID: jobID, Follow: true, FromOffset: next})
+		if err == nil {
+			err = c.forwardLogs(sr, &next, fn)
+			sr.Close()
+			if err == nil {
+				return nil // server ended the stream or ctx fired
+			}
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		// Replica crashed or stream broke: back off briefly, then
+		// resume from the first undelivered offset.
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-c.clock.After(watchRetryDelay):
+		}
 	}
-	defer sr.Close()
+}
+
+// forwardLogs pumps one stream connection into fn, de-duplicating by
+// line offset. A nil return means the stream ended cleanly.
+func (c *Client) forwardLogs(sr *rpc.StreamReader, next *uint64, fn func(LogLine)) error {
 	for {
 		var item LogItem
 		err := sr.Recv(&item)
@@ -590,6 +648,10 @@ func (c *Client) FollowLogs(ctx context.Context, jobID string, fn func(LogLine))
 		if err != nil {
 			return err
 		}
+		if item.Line.Offset < *next {
+			continue // duplicate across a reconnect
+		}
+		*next = item.Line.Offset + 1
 		fn(item.Line)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"github.com/ffdl/ffdl/internal/commitlog"
 	"github.com/ffdl/ffdl/internal/mongo"
 )
 
@@ -42,6 +43,13 @@ type statusBus struct {
 	// duplicate terminal may therefore be republished, which
 	// subscribers absorb by their own Seq cursors.
 	lastSeq map[string]int
+	// log retains recent published events on the platform's commit log
+	// (internal/commitlog), keyed by job id with key-compaction: a
+	// watcher that disconnects and comes back within the retained
+	// window replays its job's missed transitions from here instead of
+	// re-reading MongoDB (ReplayJob), and compaction keeps at least
+	// every job's newest transition as older segments merge.
+	log *commitlog.Log
 }
 
 type busSub struct {
@@ -50,7 +58,15 @@ type busSub struct {
 }
 
 func newStatusBus() *statusBus {
-	return &statusBus{subs: make(map[int]*busSub), lastSeq: make(map[string]int)}
+	log, err := commitlog.Open(commitlog.NewMemStore(), commitlog.Options{
+		SegmentRecords: 256,
+		Compact:        true,
+		MaxSegments:    8,
+	})
+	if err != nil {
+		panic("core: status log open on empty store cannot fail: " + err.Error())
+	}
+	return &statusBus{subs: make(map[int]*busSub), lastSeq: make(map[string]int), log: log}
 }
 
 // Subscribe registers for transitions of one job (or all jobs when
@@ -86,6 +102,10 @@ func (b *statusBus) Publish(ev StatusEvent) {
 	} else {
 		b.lastSeq[ev.JobID] = ev.Seq
 	}
+	// Record the transition in the replay log (in-memory Value, keyed
+	// by job) before fan-out, so a subscriber that misses the channel
+	// send can still replay it.
+	b.log.AppendValue(ev.JobID, ev) //nolint:errcheck // unreachable on a MemStore
 	for _, s := range b.subs {
 		if s.jobID != "" && s.jobID != ev.JobID {
 			continue
@@ -95,6 +115,33 @@ func (b *statusBus) Publish(ev StatusEvent) {
 		default: // slow subscriber: it refills from MongoDB
 		}
 	}
+}
+
+// ReplayJob returns the retained transitions of jobID with Seq >=
+// fromSeq. ok demands proof of completeness: at least one event, led
+// by exactly fromSeq, with contiguous Seqs — so the caller can stream
+// the replay as-is. Anything less (job unknown here, resume point
+// compacted away, retention trimmed the tail) returns ok=false and the
+// caller refills from MongoDB, which remains the source of truth.
+func (b *statusBus) ReplayJob(jobID string, fromSeq int) (evs []StatusEvent, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	last := fromSeq - 1
+	for _, rec := range b.log.Records(0) {
+		if rec.Key != jobID {
+			continue
+		}
+		ev, isEv := rec.Value.(StatusEvent)
+		if !isEv || ev.Seq <= last {
+			continue // duplicate (late terminal echo) or below the resume point
+		}
+		if ev.Seq != last+1 {
+			return nil, false // hole: compaction or a lost publish
+		}
+		evs = append(evs, ev)
+		last = ev.Seq
+	}
+	return evs, len(evs) > 0
 }
 
 // statusFeedLoop tails the jobs collection's change stream and

@@ -784,3 +784,195 @@ func TestEventDrivenControlPlanePollIndependence(t *testing.T) {
 			elapsed, cfg.PollInterval)
 	}
 }
+
+// TestStatusBusReplayJob pins the bus's commit-log replay contract:
+// ReplayJob must return a provably complete suffix (led by exactly
+// fromSeq, contiguous) or nothing — callers stream a replay as-is, so
+// "almost complete" would silently gap a watcher.
+func TestStatusBusReplayJob(t *testing.T) {
+	b := newStatusBus()
+	for seq := 1; seq <= 5; seq++ {
+		b.Publish(StatusEvent{JobID: "a", Seq: seq, Status: StatusDeploying})
+	}
+	b.Publish(StatusEvent{JobID: "other", Seq: 1, Status: StatusPending})
+
+	evs, ok := b.ReplayJob("a", 2)
+	if !ok || len(evs) != 4 {
+		t.Fatalf("ReplayJob(a, 2) = %d events, ok=%v; want 4, true", len(evs), ok)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i+2 {
+			t.Fatalf("replayed Seq[%d] = %d, want %d", i, ev.Seq, i+2)
+		}
+	}
+	if _, ok := b.ReplayJob("a", 6); ok {
+		t.Fatal("ReplayJob past the log's tail must not claim completeness")
+	}
+	if _, ok := b.ReplayJob("nosuchjob", 1); ok {
+		t.Fatal("ReplayJob of an unknown job must fall back to refill")
+	}
+	// A hole in the retained sequence (as key-compaction leaves behind)
+	// must disqualify the replay even though events >= fromSeq exist.
+	b2 := newStatusBus()
+	b2.Publish(StatusEvent{JobID: "j", Seq: 1, Status: StatusPending})
+	b2.Publish(StatusEvent{JobID: "j", Seq: 3, Status: StatusDeploying}) // 2 never published
+	if _, ok := b2.ReplayJob("j", 1); ok {
+		t.Fatal("ReplayJob across a Seq hole must not claim completeness")
+	}
+}
+
+// TestWatchReplaysFromBusLog pins the watch fast path: a watcher whose
+// resume point is still retained in the bus's commit log is served by
+// replay (watch.replays) without touching MongoDB (watch.refills).
+func TestWatchReplaysFromBusLog(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	jobID, err := c.Submit(context.Background(), testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 20*time.Second)
+
+	// A fresh watch from Seq 1 on the completed job: every transition is
+	// still in the bus log, so the whole history must come from replay.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ch, stop, err := c.WatchStatus(ctx, jobID)
+	if err != nil {
+		t.Fatalf("WatchStatus: %v", err)
+	}
+	defer stop()
+	var got []StatusEntry
+	for e := range ch {
+		got = append(got, e)
+	}
+	reply, err := c.Status(context.Background(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reply.History) {
+		t.Fatalf("replayed %d transitions, history has %d", len(got), len(reply.History))
+	}
+	if n := p.Metrics.Counter("watch.replays"); n < 1 {
+		t.Fatalf("watch.replays = %d, want >= 1 (watch did not use the bus log)", n)
+	}
+}
+
+// TestWatchRefillsWhenLogCold pins the fallback: a job whose
+// transitions never passed through this process's bus (committed by
+// "another replica" straight to MongoDB) cannot be replayed and must be
+// refilled from the durable history.
+func TestWatchRefillsWhenLogCold(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	const jobID = "training-cold"
+	now := p.clock.Now().Format(time.RFC3339Nano)
+	if _, err := p.Jobs.Insert(mongo.Doc{
+		"_id": jobID, "name": "cold", "user": "carol",
+		"status": string(StatusCompleted),
+		"history": []any{
+			map[string]any{"status": string(StatusPending), "time": now, "message": "m"},
+			map[string]any{"status": string(StatusCompleted), "time": now, "message": "m"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ch, stop, err := c.WatchStatus(ctx, jobID)
+	if err != nil {
+		t.Fatalf("WatchStatus: %v", err)
+	}
+	defer stop()
+	var got []StatusEntry
+	for e := range ch {
+		got = append(got, e)
+	}
+	if len(got) != 2 {
+		t.Fatalf("refilled %d transitions, want 2", len(got))
+	}
+	if n := p.Metrics.Counter("watch.refills"); n < 1 {
+		t.Fatalf("watch.refills = %d, want >= 1", n)
+	}
+}
+
+// TestFollowLogsResumesAcrossAPICrash is the acceptance test for
+// offset-addressed log streaming: FollowLogs must deliver every line
+// exactly once, in order, while API replicas crash under it — the
+// job's log lives in the platform's commit log, and the stream resumes
+// by offset, not by re-counting.
+func TestFollowLogsResumesAcrossAPICrash(t *testing.T) {
+	p := newTestPlatform(t, func(c *Config) {
+		c.TimeCompression = 5e-5
+	})
+	c := p.Client()
+	m := testManifest()
+	m.Iterations = 2000
+	jobID, err := c.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	lines := make(chan LogLine, 4096)
+	go func() {
+		c.FollowLogs(ctx, jobID, func(l LogLine) { lines <- l }) //nolint:errcheck
+		close(lines)
+	}()
+
+	var got []LogLine
+	crashed := 0
+	for l := range lines {
+		got = append(got, l)
+		// Crash each replica once, mid-stream.
+		if (len(got) == 3 || len(got) == 8) && crashed < 2 {
+			if !p.CrashAPI(crashed) {
+				t.Fatalf("CrashAPI(%d) failed", crashed)
+			}
+			crashed++
+		}
+		if len(got) >= 40 {
+			cancel()
+			break
+		}
+	}
+	if crashed < 2 {
+		t.Fatalf("only crashed %d replicas (stream too short: %d lines)", crashed, len(got))
+	}
+	// Exactly-once, in-order: offsets are minted contiguously per job,
+	// so the collected stream must be exactly 0,1,2,... with no gap or
+	// duplicate across the crash/reconnect seams.
+	for i, l := range got {
+		if l.Offset != uint64(i) {
+			t.Fatalf("line %d has offset %d (gap or duplicate across reconnect)", i, l.Offset)
+		}
+	}
+	c.Terminate(context.Background(), jobID) //nolint:errcheck
+}
+
+// TestLogsFromOffset pins the resumable read path: LogsFrom returns
+// only lines at or past the requested offset, and offsets are assigned
+// contiguously at ingest.
+func TestLogsFromOffset(t *testing.T) {
+	m := NewMetricsService()
+	for i := 0; i < 10; i++ {
+		m.AppendLog(LogLine{JobID: "j", Learner: 1, Text: "line"})
+	}
+	all := m.Logs("j")
+	if len(all) != 10 {
+		t.Fatalf("Logs = %d lines, want 10", len(all))
+	}
+	for i, l := range all {
+		if l.Offset != uint64(i) {
+			t.Fatalf("line %d offset = %d, want %d", i, l.Offset, i)
+		}
+	}
+	tail := m.LogsFrom("j", 7)
+	if len(tail) != 3 || tail[0].Offset != 7 {
+		t.Fatalf("LogsFrom(7) = %d lines starting at %d, want 3 from 7", len(tail), tail[0].Offset)
+	}
+	if out := m.LogsFrom("j", 42); len(out) != 0 {
+		t.Fatalf("LogsFrom past the tail = %d lines, want 0", len(out))
+	}
+}

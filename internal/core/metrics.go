@@ -4,12 +4,19 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/ffdl/ffdl/internal/commitlog"
 )
 
-// LogLine is one collected learner log line.
+// LogLine is one collected learner log line. Offset is its position in
+// the job's log — assigned by the Training Metrics Service at ingest,
+// strictly increasing per job — and doubles as the resume token for
+// followers: a client that reconnects (or outlives an API replica
+// restart) asks for lines from its last offset + 1 and misses nothing.
 type LogLine struct {
 	JobID   string
 	Learner int
+	Offset  uint64
 	Time    time.Time
 	Text    string
 }
@@ -19,10 +26,12 @@ type LogLine struct {
 // searchable index — the role ElasticSearch/Kibana plays in the paper's
 // deployment — and counts platform health metrics ("number of times
 // microservices fail and recover, and frequency of connectivity
-// issues").
+// issues"). Each job's log rides the platform's commit log
+// (internal/commitlog), which is what makes log streams offset-
+// addressable and resumable rather than count-deduplicated.
 type MetricsService struct {
 	mu       sync.Mutex
-	logs     map[string][]LogLine // jobID -> lines
+	logs     map[string]*commitlog.Log // jobID -> line log
 	counters map[string]int64
 	subs     map[string][]chan LogLine
 }
@@ -30,16 +39,37 @@ type MetricsService struct {
 // NewMetricsService returns an empty service.
 func NewMetricsService() *MetricsService {
 	return &MetricsService{
-		logs:     make(map[string][]LogLine),
+		logs:     make(map[string]*commitlog.Log),
 		counters: make(map[string]int64),
 		subs:     make(map[string][]chan LogLine),
 	}
 }
 
-// AppendLog ingests one log line and fans it out to streamers.
+// jobLogLocked returns (creating if needed) a job's line log.
+func (m *MetricsService) jobLogLocked(jobID string) *commitlog.Log {
+	if l, ok := m.logs[jobID]; ok {
+		return l
+	}
+	l, err := commitlog.Open(commitlog.NewMemStore(), commitlog.Options{SegmentRecords: 1024})
+	if err != nil {
+		panic("core: job log open on empty store cannot fail: " + err.Error())
+	}
+	m.logs[jobID] = l
+	return l
+}
+
+// AppendLog ingests one log line, assigns its offset, and fans it out
+// to streamers.
 func (m *MetricsService) AppendLog(line LogLine) {
 	m.mu.Lock()
-	m.logs[line.JobID] = append(m.logs[line.JobID], line)
+	l := m.jobLogLocked(line.JobID)
+	// Mint the offset up front so the stored value carries it (m.mu
+	// serializes appends per service, so NextOffset is exact).
+	line.Offset = l.NextOffset()
+	if _, err := l.AppendValue("", line); err != nil {
+		m.mu.Unlock()
+		return // unreachable on a MemStore; never half-publish
+	}
 	subs := m.subs[line.JobID]
 	m.mu.Unlock()
 	for _, ch := range subs {
@@ -50,22 +80,41 @@ func (m *MetricsService) AppendLog(line LogLine) {
 	}
 }
 
+// linesFrom decodes a job's retained lines with Offset >= from.
+func (m *MetricsService) linesFrom(jobID string, from uint64) []LogLine {
+	m.mu.Lock()
+	l, ok := m.logs[jobID]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	recs := l.Records(from)
+	out := make([]LogLine, 0, len(recs))
+	for _, rec := range recs {
+		if line, isLine := rec.Value.(LogLine); isLine {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
 // Logs returns all lines for a job (copy).
 func (m *MetricsService) Logs(jobID string) []LogLine {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]LogLine, len(m.logs[jobID]))
-	copy(out, m.logs[jobID])
-	return out
+	return m.linesFrom(jobID, 0)
+}
+
+// LogsFrom returns a job's lines with Offset >= from — the resumable
+// read path under API.Logs.
+func (m *MetricsService) LogsFrom(jobID string, from uint64) []LogLine {
+	return m.linesFrom(jobID, from)
 }
 
 // SearchLogs returns a job's lines containing the substring — the
 // "indexed ... for easy debugging" query path.
 func (m *MetricsService) SearchLogs(jobID, substr string) []LogLine {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	all := m.linesFrom(jobID, 0)
 	var out []LogLine
-	for _, l := range m.logs[jobID] {
+	for _, l := range all {
 		if strings.Contains(l.Text, substr) {
 			out = append(out, l)
 		}

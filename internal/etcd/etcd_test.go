@@ -545,7 +545,7 @@ func TestCompactRevisionsWindowTrimsHistory(t *testing.T) {
 		st.apply(&command{Op: opPut, Key: "k", Value: []byte{byte(i)}, ReqID: req})
 	}
 	st.mu.Lock()
-	n, floor := len(st.hist), st.hist[0].Revision
+	n, floor := st.hist.Len(), st.revIdx[0].rev
 	st.mu.Unlock()
 	if n != 8 {
 		t.Fatalf("retained %d events, want the 8-revision window", n)

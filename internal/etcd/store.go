@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/ffdl/ffdl/internal/commitlog"
 )
 
 // KV is a key-value pair with MVCC metadata.
@@ -120,13 +122,19 @@ type storeState struct {
 	appliedReq map[uint64]result
 
 	// hist retains recent events so a resuming watcher can replay from a
-	// revision instead of re-listing. Retention is revision-window-based
-	// (compactRevs) with histCap as the hard entry-count bound; trims
-	// happen at revision boundaries. A resume older than the retained
-	// floor gets a resync instead. When persistHist is set the retained
-	// log rides along in Raft snapshots, so replay survives snapshot
-	// restore and leader failover.
-	hist        []Event
+	// revision instead of re-listing. It rides the platform's commit
+	// log (internal/commitlog): events append as records whose
+	// in-memory Value is the Event, and revIdx maps each revision to
+	// its first log offset so trims and replays land on revision
+	// boundaries (multi-key deletes emit several events at one
+	// revision; splitting them would corrupt a replay). Retention is
+	// revision-window-based (compactRevs) with histCap as the hard
+	// entry-count bound, enforced with TruncateBefore. A resume older
+	// than the retained floor gets a resync instead. When persistHist
+	// is set the retained log rides along in Raft snapshots, so replay
+	// survives snapshot restore and leader failover.
+	hist        *commitlog.Log
+	revIdx      []revOff
 	histCap     int
 	compactRevs int
 	persistHist bool
@@ -153,6 +161,24 @@ type watcher struct {
 	overflowed bool
 }
 
+// revOff maps a revision to the log offset of its first event.
+type revOff struct {
+	rev uint64
+	off uint64
+}
+
+// newHistLog opens the in-memory event log watch history rides on.
+// Compaction stays off: replay completeness within the retained window
+// is the whole point, so retention is explicit TruncateBefore at
+// revision boundaries rather than latest-per-key.
+func newHistLog() *commitlog.Log {
+	l, err := commitlog.Open(commitlog.NewMemStore(), commitlog.Options{SegmentRecords: 512})
+	if err != nil {
+		panic(fmt.Sprintf("etcd: hist log open on empty store cannot fail: %v", err))
+	}
+	return l
+}
+
 func newStoreState(now func() time.Time, histCap, compactRevs int, persistHist bool) *storeState {
 	return &storeState{
 		kv:          make(map[string]KV),
@@ -160,6 +186,7 @@ func newStoreState(now func() time.Time, histCap, compactRevs int, persistHist b
 		watchers:    make(map[int]*watcher),
 		now:         now,
 		appliedReq:  make(map[uint64]result),
+		hist:        newHistLog(),
 		histCap:     histCap,
 		compactRevs: compactRevs,
 		persistHist: persistHist,
@@ -355,42 +382,72 @@ func (s *storeState) appendHistLocked(ev Event) {
 	if s.histCap <= 0 {
 		return
 	}
-	s.hist = append(s.hist, ev)
+	off, err := s.hist.AppendValue(ev.KV.Key, ev)
+	if err != nil {
+		return // unreachable on a MemStore
+	}
+	if n := len(s.revIdx); n == 0 || s.revIdx[n-1].rev != ev.Revision {
+		s.revIdx = append(s.revIdx, revOff{rev: ev.Revision, off: off})
+	}
 	s.compactHistLocked()
 }
 
 // compactHistLocked trims the event log to the revision window and the
 // entry cap. Both cuts land on revision boundaries (multi-key deletes
 // emit several events at one revision; splitting them would corrupt a
-// replay).
+// replay). Retained record counts are plain offset arithmetic: the
+// history log never key-compacts, so offsets are contiguous.
 func (s *storeState) compactHistLocked() {
-	cut := 0
+	oldest, next := s.hist.OldestOffset(), s.hist.NextOffset()
+	cutOff := oldest
 	if s.compactRevs > 0 && s.rev > uint64(s.compactRevs) {
 		floor := s.rev - uint64(s.compactRevs)
-		for cut < len(s.hist) && s.hist[cut].Revision <= floor {
-			cut++
+		// First revision past the window's floor; everything below its
+		// offset is outside the replay window.
+		i := sort.Search(len(s.revIdx), func(i int) bool { return s.revIdx[i].rev > floor })
+		if i < len(s.revIdx) {
+			cutOff = s.revIdx[i].off
+		} else if len(s.revIdx) > 0 {
+			cutOff = next // whole retained log is below the floor
 		}
 	}
-	if over := len(s.hist) - cut - s.histCap; over > 0 {
-		cut += over
-		for cut < len(s.hist) && s.hist[cut].Revision == s.hist[cut-1].Revision {
-			cut++
+	if retained := next - cutOff; retained > uint64(s.histCap) {
+		target := next - uint64(s.histCap)
+		// Round the cap cut up to the next revision boundary.
+		i := sort.Search(len(s.revIdx), func(i int) bool { return s.revIdx[i].off >= target })
+		if i < len(s.revIdx) {
+			cutOff = s.revIdx[i].off
+		} else {
+			cutOff = next
 		}
 	}
-	if cut == 0 {
+	if cutOff <= oldest {
 		return
 	}
-	if 2*cut >= len(s.hist) {
-		// Big trim: reallocate so the dead prefix is released.
-		s.hist = append([]Event(nil), s.hist[cut:]...)
-		return
+	if err := s.hist.TruncateBefore(cutOff); err != nil {
+		return // unreachable on a MemStore
 	}
-	// Steady-state trim (one event in, one out): advance the slice
-	// header instead of copying the whole window — append reallocates
-	// (and releases the dead prefix) once the backing array's spare
-	// capacity runs out, so the cost is amortized O(1) per event rather
-	// than O(histCap), and memory stays bounded by ~2× the window.
-	s.hist = s.hist[cut:]
+	j := sort.Search(len(s.revIdx), func(i int) bool { return s.revIdx[i].off >= cutOff })
+	s.revIdx = append(s.revIdx[:0], s.revIdx[j:]...)
+}
+
+// histReplayLocked returns the retained events with Revision >= fromRev
+// that match w, or ok=false when fromRev predates the retained floor
+// (the caller resyncs from current state instead).
+func (s *storeState) histReplayLocked(w *watcher, fromRev uint64) (backlog []Event, ok bool) {
+	if len(s.revIdx) == 0 || s.revIdx[0].rev > fromRev {
+		return nil, false
+	}
+	i := sort.Search(len(s.revIdx), func(i int) bool { return s.revIdx[i].rev >= fromRev })
+	if i == len(s.revIdx) {
+		return nil, true // fromRev is past every retained event: nothing to replay
+	}
+	for _, rec := range s.hist.Records(s.revIdx[i].off) {
+		if ev, isEv := rec.Value.(Event); isEv && ev.Revision >= fromRev && w.matches(ev.KV.Key) {
+			backlog = append(backlog, ev)
+		}
+	}
+	return backlog, true
 }
 
 // overflowOf reports and clears a watcher's overflow flag.
@@ -468,12 +525,9 @@ func (s *storeState) addWatcherFrom(key string, prefix bool, fromRev uint64, buf
 
 	var backlog []Event
 	if fromRev > 0 && fromRev <= s.rev {
-		if len(s.hist) > 0 && s.hist[0].Revision <= fromRev {
-			for _, ev := range s.hist {
-				if ev.Revision >= fromRev && w.matches(ev.KV.Key) {
-					backlog = append(backlog, ev)
-				}
-			}
+		replay, replayable := s.histReplayLocked(w, fromRev)
+		if replayable {
+			backlog = replay
 		} else {
 			// Compacted past fromRev: resync from current state.
 			backlog = append(backlog, Event{Type: EventResync, Revision: s.rev})
@@ -525,8 +579,14 @@ func (s *storeState) snapshot() []byte {
 	sort.Slice(snap.Applied, func(i, j int) bool { return snap.Applied[i] < snap.Applied[j] })
 	if s.persistHist {
 		// The compacted event log rides along so a replica rebuilt from
-		// this snapshot can still replay watches from old revisions.
-		snap.Hist = append([]Event(nil), s.hist...)
+		// this snapshot can still replay watches from old revisions. The
+		// snapshot carries decoded events, not log segments — the gob
+		// format predates the commit-log port and stays unchanged.
+		for _, rec := range s.hist.Records(0) {
+			if ev, ok := rec.Value.(Event); ok {
+				snap.Hist = append(snap.Hist, ev)
+			}
+		}
 	}
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
 		panic(fmt.Sprintf("etcd: snapshot encode: %v", err)) // cannot fail for these types
@@ -562,8 +622,20 @@ func (s *storeState) restore(data []byte) {
 	// Adopt the snapshot's persisted event log: a watcher resuming
 	// against this freshly-restored replica replays from its revision
 	// instead of resyncing. Without persistence (CompactRevisions < 0)
-	// the log is cleared and such a resume forces a resync.
-	s.hist = append([]Event(nil), snap.Hist...)
+	// the log is cleared and such a resume forces a resync. The replica
+	// re-appends into a fresh commit log — offsets are replica-local,
+	// revisions are the resume tokens that survive the restore.
+	s.hist = newHistLog()
+	s.revIdx = s.revIdx[:0]
+	for _, ev := range snap.Hist {
+		off, err := s.hist.AppendValue(ev.KV.Key, ev)
+		if err != nil {
+			break // unreachable on a MemStore
+		}
+		if n := len(s.revIdx); n == 0 || s.revIdx[n-1].rev != ev.Revision {
+			s.revIdx = append(s.revIdx, revOff{rev: ev.Revision, off: off})
+		}
+	}
 	s.compactHistLocked()
 	s.restores++
 }

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/ffdl/ffdl/internal/commitlog"
 )
 
 // Doc is a BSON-like document. Values should be gob-friendly primitives,
@@ -804,20 +806,45 @@ type op struct {
 }
 
 // DB is a database: named collections plus an oplog that feeds both
-// secondary replication and change streams (Watch).
+// secondary replication and change streams (Watch). The oplog rides the
+// platform's commit log (internal/commitlog): entries are records keyed
+// by collection and _id, sequence numbers are log offsets, and
+// retention drops whole sealed segments off the tail — so a slow
+// ChangeStream either replays the contiguous retained history or is
+// told explicitly (a "resync" event) that its token fell below the
+// retained floor. The previous ring buffer instead discarded its older
+// half in place once it passed 64k entries, and a stale resume silently
+// started at the new floor.
 type DB struct {
 	mu      sync.Mutex
 	colls   map[string]*Collection
-	oplog   []op
+	oplog   *commitlog.Log
 	opSeq   uint64
 	subs    map[int]chan op
 	nextSub int
 	closed  bool
 }
 
+// oplogOptions bounds the retained oplog at ~64k entries (64 sealed
+// segments of 1024), matching the old ring's cap but trimming
+// segment-at-a-time with an observable floor instead of halving in
+// place.
+func oplogOptions() commitlog.Options {
+	return commitlog.Options{
+		// Offsets coincide with the oplog's historical 1-based Seqs.
+		FirstOffset:    1,
+		SegmentRecords: 1024,
+		MaxSegments:    64,
+	}
+}
+
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{colls: make(map[string]*Collection), subs: make(map[int]chan op)}
+	log, err := commitlog.Open(commitlog.NewMemStore(), oplogOptions())
+	if err != nil {
+		panic(fmt.Sprintf("mongo: oplog open on empty store cannot fail: %v", err))
+	}
+	return &DB{colls: make(map[string]*Collection), oplog: log, subs: make(map[int]chan op)}
 }
 
 // C returns (creating if needed) the named collection.
@@ -844,12 +871,20 @@ func (db *DB) logOp(o op) {
 	if db.closed {
 		return
 	}
-	db.opSeq++
-	o.Seq = db.opSeq
-	db.oplog = append(db.oplog, o)
-	if len(db.oplog) > 1<<16 {
-		db.oplog = db.oplog[len(db.oplog)/2:]
+	id := o.ID
+	if id == "" && o.Doc != nil {
+		id, _ = o.Doc["_id"].(string)
 	}
+	// The op rides the record's in-memory Value (the oplog is
+	// MemStore-backed; nothing crosses a codec on this hot path), keyed
+	// by collection+_id. Its Seq is the record's offset, minted up
+	// front so the stored value carries it — db.mu serializes appends,
+	// so NextOffset is exact.
+	o.Seq = db.oplog.NextOffset()
+	if _, err := db.oplog.AppendValue(o.Coll+"\x00"+id, o); err != nil {
+		return // unreachable on a MemStore; never half-publish
+	}
+	db.opSeq = o.Seq
 	for _, ch := range db.subs {
 		select {
 		case ch <- o:
@@ -868,21 +903,30 @@ func (db *DB) OplogLen() uint64 {
 	return db.opSeq
 }
 
+// OplogFloor returns the oldest retained oplog sequence number. A
+// resume token below it cannot replay; Watch signals such consumers
+// with an explicit "resync" event.
+func (db *DB) OplogFloor() uint64 {
+	return db.oplog.OldestOffset()
+}
+
 // addSub registers an oplog subscriber and returns its id plus the
 // retained backlog with Seq > fromSeq (held-lock snapshot, so backlog
-// and live feed are contiguous).
-func (db *DB) addSub(ch chan op, fromSeq uint64) (int, []op) {
+// and live feed are contiguous). truncated reports that fromSeq
+// predates the retained floor, so the backlog is NOT a contiguous
+// continuation of the consumer's history.
+func (db *DB) addSub(ch chan op, fromSeq uint64) (id int, backlog []op, truncated bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.nextSub++
 	db.subs[db.nextSub] = ch
-	var backlog []op
-	for _, o := range db.oplog {
-		if o.Seq > fromSeq {
+	truncated = fromSeq > 0 && fromSeq+1 < db.oplog.OldestOffset()
+	for _, rec := range db.oplog.Records(fromSeq + 1) {
+		if o, ok := rec.Value.(op); ok {
 			backlog = append(backlog, o)
 		}
 	}
-	return db.nextSub, backlog
+	return db.nextSub, backlog, truncated
 }
 
 func (db *DB) removeSub(id int) {
@@ -893,13 +937,15 @@ func (db *DB) removeSub(id int) {
 
 // ChangeEvent is one committed write delivered by a ChangeStream.
 type ChangeEvent struct {
-	// Seq is the oplog sequence number — the stream's resume token.
-	// Strictly increasing within a stream; a jump of more than one
-	// reveals that intermediate writes were missed (stream lag or a
-	// resume past the retained oplog) and the consumer should re-read
-	// the collection, which remains the source of truth.
+	// Seq is the oplog sequence number — a commit-log offset, the
+	// stream's resume token. Strictly increasing within a stream. A
+	// resume token that fell below the retained floor is announced with
+	// an explicit Kind "resync" event (never a silent jump); a jump
+	// without a marker means live-feed lag dropped writes, and either
+	// way the consumer re-reads the collection, which remains the
+	// source of truth.
 	Seq  uint64
-	Kind string // "insert", "update" or "delete"
+	Kind string // "insert", "update", "delete" or "resync"
 	Coll string
 	// Doc is the full post-image for inserts and updates (nil for
 	// deletes). It is a copy-on-write view the consumer may retain;
@@ -938,12 +984,13 @@ func (cs *ChangeStream) Cancel() {
 
 // Watch opens a change stream over one collection ("" = all), starting
 // after oplog sequence fromSeq (0 = from the beginning of the retained
-// oplog). If fromSeq predates the retained oplog the stream begins at
-// the retained floor; the consumer observes the Seq jump and recovers
-// by re-reading the collection.
+// oplog). If fromSeq > 0 predates the retained oplog, the stream's
+// first delivery is an explicit Kind "resync" event — the cue to
+// re-read the collection — followed by the contiguous retained history
+// from the floor; a stale resume is never a silent gap.
 func (db *DB) Watch(coll string, fromSeq uint64) *ChangeStream {
 	live := make(chan op, 1024)
-	id, backlog := db.addSub(live, fromSeq)
+	id, backlog, truncated := db.addSub(live, fromSeq)
 	cs := &ChangeStream{
 		db:   db,
 		id:   id,
@@ -953,6 +1000,21 @@ func (db *DB) Watch(coll string, fromSeq uint64) *ChangeStream {
 	go func() {
 		defer close(cs.ch)
 		last := fromSeq
+		if truncated {
+			// The marker's Seq sits just below the first replayed
+			// record, keeping the stream's Seqs strictly increasing and
+			// contiguous after the one announced discontinuity.
+			marker := ChangeEvent{Kind: "resync", Coll: coll, Seq: fromSeq}
+			if len(backlog) > 0 {
+				marker.Seq = backlog[0].Seq - 1
+			}
+			select {
+			case cs.ch <- marker:
+				last = marker.Seq
+			case <-cs.stop:
+				return
+			}
+		}
 		deliver := func(o op) bool {
 			// Skip duplicates across the backlog/live seam and other
 			// collections' writes.
@@ -1019,7 +1081,7 @@ type Secondary struct {
 // StartSecondary attaches a replica and begins streaming ops into it.
 func (db *DB) StartSecondary() *Secondary {
 	ch := make(chan op, 1024)
-	id, backlog := db.addSub(ch, 0)
+	id, backlog, _ := db.addSub(ch, 0)
 
 	s := &Secondary{db: NewDB(), src: db, subID: id, stop: make(chan struct{}), done: make(chan struct{})}
 	for _, o := range backlog {
