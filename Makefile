@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke commitlog-smoke docs-check ci
+.PHONY: all fmt vet build test race cover bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke commitlog-smoke recovery-smoke docs-check ci
 
 all: build
 
@@ -16,16 +16,26 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package, so hidden
+# inter-test state (a leaked goroutine, a shared temp dir) surfaces in
+# CI instead of in the field.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race gate for the concurrency-heavy paths: the tenant dispatcher and
-# the scheduler/admission package it drives, plus the event substrate
-# (every subsystem appends to commit logs under concurrent readers) and
-# the core platform that fans its events out.
+# the scheduler/admission package it drives, the event substrate (every
+# subsystem appends to commit logs under concurrent readers), the core
+# platform that fans its events out, and the durable stores layered on
+# the commit log (mongo oplog recovery, etcd watch history).
 race:
-	$(GO) vet ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/...
-	$(GO) test -race -short ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/...
+	$(GO) vet ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/...
+	$(GO) test -race -short ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/...
+
+# Coverage artifact: a whole-repo coverprofile plus the per-function
+# summary CI uploads (cover.out, cover.txt).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tee cover.txt
 
 # Perf gate: one iteration of the Table 7 / Fig. 5 scale experiment and
 # of the scheduler scale experiment, so a regression that breaks or
@@ -76,6 +86,12 @@ throughput-smoke:
 commitlog-smoke:
 	$(GO) run ./cmd/ffdl-bench -commitlog -cl-crash 40 -cl-events 4000 -json bench-commitlog.json
 
+# Small restart-the-world recovery run (reopen latency + what survives,
+# FileStore DataDir vs the MemStore ablation); emits the BENCH json
+# artifact CI uploads (bench-recovery.json).
+recovery-smoke:
+	$(GO) run ./cmd/ffdl-bench -recovery -rc-jobs 2 -rc-churn 3000 -json bench-recovery.json
+
 # Docs drift gate: README.md must mention every example, and
 # docs/architecture.md must cover every internal package, and the watch
 # protocol spec must exist, cover all four watch layers, and be linked
@@ -93,8 +109,11 @@ docs-check:
 		pkg=$$(basename $$d); \
 		grep -q "internal/$$pkg" docs/architecture.md || { echo "docs/architecture.md does not cover internal/$$pkg"; ok=0; }; \
 	done; \
-	for anchor in WatchStream "Store.Watch" "status bus" WatchStatus CompactRevisions TakeDropped "change feed" EventResync Dispatcher commitlog ReplayJob FollowLogs "retained floor"; do \
+	for anchor in WatchStream "Store.Watch" "status bus" WatchStatus CompactRevisions TakeDropped "change feed" EventResync Dispatcher commitlog ReplayJob FollowLogs "retained floor" DataDir "survive a process restart"; do \
 		grep -q "$$anchor" docs/watch-protocol.md || { echo "docs/watch-protocol.md does not cover '$$anchor'"; ok=0; }; \
+	done; \
+	for anchor in Durability DataDir mongo-oplog status-bus learner-logs "Recovery on open"; do \
+		grep -q "$$anchor" docs/architecture.md || { echo "docs/architecture.md does not cover '$$anchor'"; ok=0; }; \
 	done; \
 	grep -q "watch-protocol.md" docs/architecture.md || { echo "docs/architecture.md does not link watch-protocol.md"; ok=0; }; \
 	grep -q "watch-protocol.md" README.md || { echo "README.md does not link watch-protocol.md"; ok=0; }; \

@@ -13,6 +13,7 @@
 //	ffdl-bench -tenant -json bench-tenant.json
 //	ffdl-bench -throughput -tp-submitters 64 -json bench-throughput.json
 //	ffdl-bench -commitlog -json bench-commitlog.json
+//	ffdl-bench -recovery -rc-jobs 3 -json bench-recovery.json
 package main
 
 import (
@@ -50,7 +51,10 @@ func main() {
 		clog       = flag.Bool("commitlog", false, "run the commit-log experiment (crash torture smoke + replay-vs-resync retention cost)")
 		clCrash    = flag.Int("cl-crash", 0, "crash points for -commitlog's torture half (0 = default 40)")
 		clEvents   = flag.Int("cl-events", 0, "published transitions for -commitlog's retention half (0 = default 4000)")
-		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant / -throughput / -commitlog results as JSON to this file")
+		recovery   = flag.Bool("recovery", false, "run the restart-the-world recovery experiment (FileStore DataDir vs the MemStore ablation)")
+		rcJobs     = flag.Int("rc-jobs", 0, "jobs completed before the restart for -recovery (0 = default 3)")
+		rcChurn    = flag.Int("rc-churn", 0, "floor-raising oplog churn for -recovery (0 = default 3000)")
+		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant / -throughput / -commitlog / -recovery results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -71,6 +75,9 @@ func main() {
 	}
 	if *clog {
 		payload["commitlog"] = runCommitlog(*clCrash, *clEvents, *seed)
+	}
+	if *recovery {
+		payload["recovery"] = runRecovery(*rcJobs, *rcChurn, *seed)
 	}
 	if len(payload) > 0 {
 		writeJSON(*jsonOut, payload)
@@ -243,6 +250,19 @@ func runCommitlog(crashPoints, events int, seed int64) expt.CommitlogResult {
 		}
 		os.Exit(1)
 	}
+	return res
+}
+
+// runRecovery runs the restart-the-world recovery pair (FileStore
+// DataDir vs the MemStore ablation), prints the table, and returns the
+// raw result for the BENCH json artifact.
+func runRecovery(jobs, churn int, seed int64) expt.RecoveryResult {
+	res, err := expt.Recovery(expt.RecoveryConfig{Jobs: jobs, Churn: churn, Seed: seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: recovery: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(expt.RenderRecovery(res).String())
 	return res
 }
 

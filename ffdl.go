@@ -78,6 +78,17 @@
 // ffdl-bench -tenant measures queue delays and preemptions under a
 // mixed free/paid workload.
 //
+// # Durability
+//
+// With Config.DataDir set (ffdl-server -data-dir), the metadata oplog,
+// the status-bus replay window and per-job learner logs live in
+// file-backed commit logs under that directory, so watch resume
+// tokens, WatchStatus replay and FollowLogsFrom offsets survive a
+// full process restart: stop the platform, boot a new one with the
+// same DataDir, and clients resume where they left off. Empty means
+// in-memory (tests, benchmarks). See docs/architecture.md
+// ("Durability") for the layout and recovery contract.
+//
 // The package re-exports the platform's user-facing types from
 // internal/core and the performance-model vocabulary from internal/perf;
 // everything else (scheduling policies, substrates, experiment

@@ -1,0 +1,299 @@
+package commitlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Offset-map edge cases under the real file layout: the consumer-cursor
+// "offsets.log" is the piece of recovery state that is rewritten in
+// place (bounded by OffsetsRewriteEvery), so its boundaries and empty /
+// ahead-of-log shapes each get a pin here.
+
+// TestOffsetsRewriteExactBoundary pins the rewrite trigger at its exact
+// edge: with OffsetsRewriteEvery = N, the Nth commit must collapse the
+// offsets log to a single frame — not one commit later.
+func TestOffsetsRewriteExactBoundary(t *testing.T) {
+	fs, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	const every = 4
+	l, err := Open(fs, Options{OffsetsRewriteEvery: every})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 1; i < every; i++ {
+		if err := l.Commit("c", uint64(i)); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	grown, _ := fs.LoadOffsets()
+	// The boundary commit: the log must shrink to exactly one frame.
+	if err := l.Commit("c", every); err != nil {
+		t.Fatalf("boundary Commit: %v", err)
+	}
+	data, _ := fs.LoadOffsets()
+	oneFrame := appendOffsetsFrame(nil, l.offGen, []offsetEntry{{name: "c", next: every}})
+	if len(data) != len(oneFrame) {
+		t.Fatalf("offsets log after boundary commit = %d bytes, want one frame (%d); pre-boundary size %d",
+			len(data), len(oneFrame), len(grown))
+	}
+	if len(grown) <= len(data) {
+		t.Fatalf("offsets log never grew before the boundary (%d bytes)", len(grown))
+	}
+	// The rewritten map must still recover the latest cursor.
+	r, err := Open(fs, Options{OffsetsRewriteEvery: every})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if cur, ok := r.Committed("c"); !ok || cur != every {
+		t.Fatalf("recovered cursor = (%d, %v), want (%d, true)", cur, ok, every)
+	}
+}
+
+// TestReopenEmptyOffsetsLog: an offsets.log that exists but holds zero
+// bytes (crashed before the first commit frame landed) must read as "no
+// consumers", not an error — and committing afterwards works.
+func TestReopenEmptyOffsetsLog(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	l, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, "k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "offsets.log"), nil, 0o644); err != nil {
+		t.Fatalf("truncate offsets.log: %v", err)
+	}
+	fs2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	r, err := Open(fs2, Options{})
+	if err != nil {
+		t.Fatalf("reopen with empty offsets.log: %v", err)
+	}
+	if got := r.Len(); got != 5 {
+		t.Fatalf("reopened Len = %d, want 5", got)
+	}
+	if names := r.Consumers(); len(names) != 0 {
+		t.Fatalf("empty offsets.log recovered consumers %v", names)
+	}
+	if err := r.Commit("c", 3); err != nil {
+		t.Fatalf("Commit after empty-map recovery: %v", err)
+	}
+	if cur, ok := r.Committed("c"); !ok || cur != 3 {
+		t.Fatalf("cursor = (%d, %v), want (3, true)", cur, ok)
+	}
+}
+
+// TestReopenCursorPastLastRecord: a consumer cursor committed beyond
+// the last surviving record (the acked records were torn away, or the
+// producer crashed between commit and append) must survive reopen
+// as-is, and offset allocation must resume at or past it — an offset a
+// consumer already accounts for is never re-minted for a new record.
+func TestReopenCursorPastLastRecord(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	l, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, "k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	ahead := l.NextOffset() + 10
+	if err := l.Commit("c", ahead); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	fs2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	r, err := Open(fs2, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if cur, ok := r.Committed("c"); !ok || cur != ahead {
+		t.Fatalf("recovered cursor = (%d, %v), want (%d, true)", cur, ok, ahead)
+	}
+	off, err := r.Append("k", []byte("post"))
+	if err != nil {
+		t.Fatalf("post-recovery Append: %v", err)
+	}
+	if off < ahead {
+		t.Fatalf("post-recovery append minted offset %d below the acked cursor %d", off, ahead)
+	}
+}
+
+// TestFileStoreConcurrentChurn runs parallel appenders, readers, cursor
+// commits and an explicit compaction tick against one FileStore-backed
+// log — the -race exercise for the durable configuration the platform
+// actually runs (segment roll + seal-time compaction + offsets rewrite
+// all interleaving). Correctness checks are the log's own invariants:
+// strictly increasing offsets per reader pass, and a reopen that agrees
+// with the final in-memory state.
+func TestFileStoreConcurrentChurn(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	opts := Options{SegmentRecords: 32, Compact: true, OffsetsRewriteEvery: 8}
+	l, err := Open(fs, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	const (
+		appenders   = 4
+		perAppender = 200
+	)
+	var appendWG, churnWG sync.WaitGroup
+	errCh := make(chan error, appenders+4)
+	for a := 0; a < appenders; a++ {
+		appendWG.Add(1)
+		go func(a int) {
+			defer appendWG.Done()
+			for i := 0; i < perAppender; i++ {
+				key := fmt.Sprintf("k%d", (a*perAppender+i)%8)
+				if _, err := l.Append(key, []byte(fmt.Sprintf("a%d-%d", a, i))); err != nil {
+					errCh <- fmt.Errorf("appender %d: %w", a, err)
+					return
+				}
+			}
+		}(a)
+	}
+	stop := make(chan struct{})
+	// Readers: every observed pass must be strictly increasing.
+	for r := 0; r < 2; r++ {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				last := uint64(0)
+				seen := false
+				for _, rec := range l.Records(0) {
+					if seen && rec.Offset <= last {
+						errCh <- fmt.Errorf("reader saw offsets %d then %d", last, rec.Offset)
+						return
+					}
+					last, seen = rec.Offset, true
+				}
+			}
+		}()
+	}
+	// A consumer committing its cursor forward (offsets.log churn).
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Commit("tail", l.NextOffset()); err != nil {
+				errCh <- fmt.Errorf("commit: %w", err)
+				return
+			}
+			if i%16 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// The compaction tick.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				if err := l.Compact(); err != nil {
+					errCh <- fmt.Errorf("compact: %w", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Wait for the appenders, then wind the churn down.
+	appendersDone := make(chan struct{})
+	go func() {
+		appendWG.Wait()
+		close(appendersDone)
+	}()
+	select {
+	case err := <-errCh:
+		close(stop)
+		churnWG.Wait()
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		close(stop)
+		churnWG.Wait()
+		t.Fatal("concurrent churn did not finish in 60s")
+	case <-appendersDone:
+	}
+	close(stop)
+	churnWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// One final, guaranteed cursor commit after the churn has wound
+	// down: the churn committer races with the appenders and may never
+	// be scheduled before they finish, so the reopen check below can't
+	// rely on it having produced a frame.
+	if err := l.Commit("tail", l.NextOffset()); err != nil {
+		t.Fatalf("final commit: %v", err)
+	}
+
+	// The reopened log must agree with the final in-memory state.
+	before := l.Records(0)
+	next := l.NextOffset()
+	fs2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	r, err := Open(fs2, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	after := r.Records(0)
+	if len(after) != len(before) {
+		t.Fatalf("reopen: %d records, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i].Offset != after[i].Offset || string(before[i].Payload) != string(after[i].Payload) {
+			t.Fatalf("record %d diverged across reopen: %d vs %d", i, before[i].Offset, after[i].Offset)
+		}
+	}
+	if got := r.NextOffset(); got < next {
+		t.Fatalf("reopened NextOffset = %d, want >= %d", got, next)
+	}
+	if cur, ok := r.Committed("tail"); !ok || cur != next {
+		t.Fatalf("reopened cursor = (%d, %v), want (%d, true)", cur, ok, next)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/ffdl/ffdl/internal/commitlog"
@@ -50,6 +51,10 @@ type statusBus struct {
 	// re-reading MongoDB (ReplayJob), and compaction keeps at least
 	// every job's newest transition as older segments merge.
 	log *commitlog.Log
+	// persist encodes events into record payloads so the replay window
+	// survives a process restart (DataDir platforms); off on MemStore,
+	// where events ride the in-memory record Value.
+	persist bool
 }
 
 type busSub struct {
@@ -57,16 +62,20 @@ type busSub struct {
 	ch    chan StatusEvent
 }
 
-func newStatusBus() *statusBus {
-	log, err := commitlog.Open(commitlog.NewMemStore(), commitlog.Options{
+// newStatusBus opens the bus over the given replay-log store — a
+// MemStore for the simulation default, a FileStore under DataDir for a
+// durable platform, where the retained window (and therefore WatchStatus
+// replay-on-reconnect) survives a full process restart.
+func newStatusBus(store commitlog.SegmentStore, persist bool) (*statusBus, error) {
+	log, err := commitlog.Open(store, commitlog.Options{
 		SegmentRecords: 256,
 		Compact:        true,
 		MaxSegments:    8,
 	})
 	if err != nil {
-		panic("core: status log open on empty store cannot fail: " + err.Error())
+		return nil, fmt.Errorf("core: open status log: %w", err)
 	}
-	return &statusBus{subs: make(map[int]*busSub), lastSeq: make(map[string]int), log: log}
+	return &statusBus{subs: make(map[int]*busSub), lastSeq: make(map[string]int), log: log, persist: persist}, nil
 }
 
 // Subscribe registers for transitions of one job (or all jobs when
@@ -102,10 +111,16 @@ func (b *statusBus) Publish(ev StatusEvent) {
 	} else {
 		b.lastSeq[ev.JobID] = ev.Seq
 	}
-	// Record the transition in the replay log (in-memory Value, keyed
-	// by job) before fan-out, so a subscriber that misses the channel
-	// send can still replay it.
-	b.log.AppendValue(ev.JobID, ev) //nolint:errcheck // unreachable on a MemStore
+	// Record the transition in the replay log (keyed by job) before
+	// fan-out, so a subscriber that misses the channel send can still
+	// replay it. A durable bus encodes the event into the payload; a
+	// failed append degrades to refill-from-MongoDB, never blocks a
+	// transition.
+	if b.persist {
+		b.log.Append(ev.JobID, encodeStatusEvent(nil, ev)) //nolint:errcheck // replay is an optimization; MongoDB is the source of truth
+	} else {
+		b.log.AppendValue(ev.JobID, ev) //nolint:errcheck // unreachable on a MemStore
+	}
 	for _, s := range b.subs {
 		if s.jobID != "" && s.jobID != ev.JobID {
 			continue
@@ -131,7 +146,7 @@ func (b *statusBus) ReplayJob(jobID string, fromSeq int) (evs []StatusEvent, ok 
 		if rec.Key != jobID {
 			continue
 		}
-		ev, isEv := rec.Value.(StatusEvent)
+		ev, isEv := busEvent(rec)
 		if !isEv || ev.Seq <= last {
 			continue // duplicate (late terminal echo) or below the resume point
 		}
@@ -142,6 +157,20 @@ func (b *statusBus) ReplayJob(jobID string, fromSeq int) (evs []StatusEvent, ok 
 		last = ev.Seq
 	}
 	return evs, len(evs) > 0
+}
+
+// busEvent extracts the StatusEvent a log record carries: the in-memory
+// Value on the MemStore path, decoded from the durable payload
+// otherwise (records recovered from a reopened store carry no Value).
+func busEvent(rec commitlog.Record) (StatusEvent, bool) {
+	if ev, ok := rec.Value.(StatusEvent); ok {
+		return ev, true
+	}
+	if len(rec.Payload) == 0 {
+		return StatusEvent{}, false
+	}
+	ev, err := decodeStatusEvent(rec.Payload)
+	return ev, err == nil
 }
 
 // statusFeedLoop tails the jobs collection's change stream and

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ffdl/ffdl/internal/commitlog"
 	"github.com/ffdl/ffdl/internal/mongo"
 	"github.com/ffdl/ffdl/internal/perf"
 	"github.com/ffdl/ffdl/internal/sim"
@@ -640,8 +641,18 @@ func TestWatchStatusDeliversTransitionsInOrderUnderAPICrash(t *testing.T) {
 // TestStatusBusDedupsAcrossFeeders: the bus has two feeders (direct
 // publish and the MongoDB change feed); per-job Seq dedup must drop the
 // echo and stale replays while preserving order.
+// newMemBus opens a status bus on a fresh MemStore for bus-only tests.
+func newMemBus(t *testing.T) *statusBus {
+	t.Helper()
+	b, err := newStatusBus(commitlog.NewMemStore(), false)
+	if err != nil {
+		t.Fatalf("newStatusBus: %v", err)
+	}
+	return b
+}
+
 func TestStatusBusDedupsAcrossFeeders(t *testing.T) {
-	b := newStatusBus()
+	b := newMemBus(t)
 	ch, cancel := b.Subscribe("j", 16)
 	defer cancel()
 	b.Publish(StatusEvent{JobID: "j", Seq: 1, Status: StatusPending})
@@ -790,7 +801,7 @@ func TestEventDrivenControlPlanePollIndependence(t *testing.T) {
 // fromSeq, contiguous) or nothing — callers stream a replay as-is, so
 // "almost complete" would silently gap a watcher.
 func TestStatusBusReplayJob(t *testing.T) {
-	b := newStatusBus()
+	b := newMemBus(t)
 	for seq := 1; seq <= 5; seq++ {
 		b.Publish(StatusEvent{JobID: "a", Seq: seq, Status: StatusDeploying})
 	}
@@ -813,7 +824,7 @@ func TestStatusBusReplayJob(t *testing.T) {
 	}
 	// A hole in the retained sequence (as key-compaction leaves behind)
 	// must disqualify the replay even though events >= fromSeq exist.
-	b2 := newStatusBus()
+	b2 := newMemBus(t)
 	b2.Publish(StatusEvent{JobID: "j", Seq: 1, Status: StatusPending})
 	b2.Publish(StatusEvent{JobID: "j", Seq: 3, Status: StatusDeploying}) // 2 never published
 	if _, ok := b2.ReplayJob("j", 1); ok {

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/commitlog"
+)
+
+// Durable-log plumbing: where each platform log lives under
+// Config.DataDir, and the payload codecs for the records that must
+// outlive the process. The DataDir layout is one commitlog.FileStore
+// directory per log:
+//
+//	<DataDir>/mongo-oplog/            the metadata store's oplog
+//	<DataDir>/status-bus/             the status bus's replay window
+//	<DataDir>/learner-logs/<jobID>/   one log per job's learner lines
+//
+// With DataDir unset every log rides a MemStore and nothing survives
+// the process — the simulation default. The etcd watch history keeps
+// its Raft-snapshot persistence and is intentionally not in DataDir:
+// the coordination state it indexes (learner keys, control verbs) is
+// itself rebuilt from scratch on a cold restart, so durable watch
+// offsets would resume into a world that no longer matches them.
+
+// Log directory names under DataDir.
+const (
+	dirMongoOplog  = "mongo-oplog"
+	dirStatusBus   = "status-bus"
+	dirLearnerLogs = "learner-logs"
+)
+
+// StoreWrapper wraps a durable log's segment store as it opens. name is
+// the log's DataDir-relative directory ("mongo-oplog",
+// "learner-logs/<jobID>", ...). The chaos harness injects
+// commitlog.FaultStore corruption under the real file layout this way;
+// production configs leave it nil.
+type StoreWrapper func(name string, store commitlog.SegmentStore) commitlog.SegmentStore
+
+// openLogStore opens the segment store for the named log: a FileStore
+// under dataDir, or a fresh MemStore when dataDir is empty.
+func openLogStore(dataDir, name string, wrap StoreWrapper) (commitlog.SegmentStore, error) {
+	var store commitlog.SegmentStore
+	if dataDir == "" {
+		store = commitlog.NewMemStore()
+	} else {
+		fs, err := commitlog.OpenFileStore(filepath.Join(dataDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("core: open %s store: %w", name, err)
+		}
+		store = fs
+	}
+	if wrap != nil {
+		store = wrap(name, store)
+	}
+	return store, nil
+}
+
+// hasLogDir reports whether the named log already exists on disk —
+// read paths use it to reopen recovered logs lazily without littering
+// DataDir with empty directories for unknown names.
+func hasLogDir(dataDir, name string) bool {
+	if dataDir == "" {
+		return false
+	}
+	st, err := os.Stat(filepath.Join(dataDir, name))
+	return err == nil && st.IsDir()
+}
+
+// Payload codecs. Like the mongo oplog codec, these carry no checksum
+// of their own: commit-log record frames already CRC their payloads.
+
+var errDurableShort = errors.New("core: truncated durable record payload")
+
+const maxDurableLen = 1 << 26
+
+// encodeStatusEvent appends the durable form of a bus event.
+func encodeStatusEvent(dst []byte, ev StatusEvent) []byte {
+	dst = appendDurableString(dst, ev.JobID)
+	dst = binary.AppendVarint(dst, int64(ev.Seq))
+	dst = appendDurableString(dst, string(ev.Status))
+	dst = appendDurableString(dst, string(ev.Entry.Status))
+	dst = binary.AppendVarint(dst, ev.Entry.Time.UnixNano())
+	return appendDurableString(dst, ev.Entry.Message)
+}
+
+// decodeStatusEvent parses one durable bus event.
+func decodeStatusEvent(data []byte) (StatusEvent, error) {
+	r := durableReader{buf: data}
+	var ev StatusEvent
+	var err error
+	if ev.JobID, err = r.str(); err != nil {
+		return StatusEvent{}, err
+	}
+	seq, err := r.varint()
+	if err != nil {
+		return StatusEvent{}, err
+	}
+	ev.Seq = int(seq)
+	s, err := r.str()
+	if err != nil {
+		return StatusEvent{}, err
+	}
+	ev.Status = JobStatus(s)
+	if s, err = r.str(); err != nil {
+		return StatusEvent{}, err
+	}
+	ev.Entry.Status = JobStatus(s)
+	ns, err := r.varint()
+	if err != nil {
+		return StatusEvent{}, err
+	}
+	ev.Entry.Time = time.Unix(0, ns)
+	if ev.Entry.Message, err = r.str(); err != nil {
+		return StatusEvent{}, err
+	}
+	return ev, r.done()
+}
+
+// encodeLogLine appends the durable form of a learner log line.
+func encodeLogLine(dst []byte, line LogLine) []byte {
+	dst = appendDurableString(dst, line.JobID)
+	dst = binary.AppendVarint(dst, int64(line.Learner))
+	dst = binary.AppendUvarint(dst, line.Offset)
+	dst = binary.AppendVarint(dst, line.Time.UnixNano())
+	return appendDurableString(dst, line.Text)
+}
+
+// decodeLogLine parses one durable learner log line.
+func decodeLogLine(data []byte) (LogLine, error) {
+	r := durableReader{buf: data}
+	var line LogLine
+	var err error
+	if line.JobID, err = r.str(); err != nil {
+		return LogLine{}, err
+	}
+	learner, err := r.varint()
+	if err != nil {
+		return LogLine{}, err
+	}
+	line.Learner = int(learner)
+	if line.Offset, err = r.uvarint(); err != nil {
+		return LogLine{}, err
+	}
+	ns, err := r.varint()
+	if err != nil {
+		return LogLine{}, err
+	}
+	line.Time = time.Unix(0, ns)
+	if line.Text, err = r.str(); err != nil {
+		return LogLine{}, err
+	}
+	return line, r.done()
+}
+
+func appendDurableString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// durableReader is a bounds-checked cursor over an encoded payload.
+type durableReader struct {
+	buf []byte
+	off int
+}
+
+func (r *durableReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errDurableShort
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *durableReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errDurableShort
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *durableReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxDurableLen || r.off+int(n) > len(r.buf) {
+		return "", errDurableShort
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *durableReader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("core: %d trailing bytes after durable payload", len(r.buf)-r.off)
+	}
+	return nil
+}

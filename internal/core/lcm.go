@@ -123,7 +123,7 @@ func (l *lcmReplica) handleTerminate(_ context.Context, arg any) (any, error) {
 	return nil, err
 }
 
-// recoveryLoop re-deploys PENDING jobs that have no Guardian. This is
+// recoveryLoop re-deploys admitted jobs that have no Guardian. This is
 // the "in the case of a failure that necessitates that the entire job
 // be restarted, information stored in MongoDB can be used readily
 // without the need for user intervention" path (§3.2). It wakes on the
@@ -131,17 +131,47 @@ func (l *lcmReplica) handleTerminate(_ context.Context, arg any) (any, error) {
 // moment the API persists it — and only falls back to scanning MongoDB
 // on a slow safety tick, covering bus drops and jobs submitted before
 // this replica started.
+//
+// On a durable (DataDir) platform the scan covers every admitted,
+// non-terminal, non-HALTED status, not just PENDING: on a cold process
+// restart the reopened metadata store holds jobs that were DEPLOYING or
+// PROCESSING when the process died — they lost their Guardians with the
+// rest of the kube state, and only this scan brings them back. The
+// wider scan is idempotent — ensureGuardian no-ops while the job's
+// Guardian kube Job exists (kube keeps Job objects after success), and
+// setJobStatus admits re-entrant DEPLOYING from every scanned state.
+// HALTED stays excluded: a halted job resumes only on the user's RESUME
+// verb; QUEUED stays excluded: admission belongs to the tenant
+// dispatcher.
+//
+// A memory platform keeps the seed's PENDING-only scan: its metadata
+// store is born empty, so every non-PENDING job it ever observes was
+// admitted through this platform and already has its Guardian in the
+// shared kube — the only guardianless non-PENDING docs there are ones
+// written straight to MongoDB by another API replica's feed, and
+// redeploying those would race the writer.
 func (l *lcmReplica) recoveryLoop() {
 	events, cancel := l.p.bus.Subscribe("", 256)
 	defer cancel()
 	ticker := l.p.clock.NewTicker(l.p.cfg.PollInterval * 10)
 	defer ticker.Stop()
+	recoverable := []JobStatus{StatusPending}
+	if l.p.cfg.DataDir != "" {
+		recoverable = append(recoverable,
+			StatusDeploying, StatusDownloading,
+			StatusProcessing, StatusStoring, StatusResumed,
+		)
+	}
 	scan := func() {
-		docs := l.p.Jobs.Find(mongo.Filter{"status": string(StatusPending)}, mongo.FindOpts{})
-		for _, d := range docs {
-			id, _ := d["_id"].(string)
-			if id != "" {
-				l.ensureGuardian(id) //nolint:errcheck // retried next wake
+		for _, st := range recoverable {
+			// One indexed equality query per status keeps the scan off
+			// the full-collection path (status is an indexed field).
+			docs := l.p.Jobs.Find(mongo.Filter{"status": string(st)}, mongo.FindOpts{})
+			for _, d := range docs {
+				id, _ := d["_id"].(string)
+				if id != "" {
+					l.ensureGuardian(id) //nolint:errcheck // retried next wake
+				}
 			}
 		}
 	}

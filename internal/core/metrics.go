@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,13 @@ type MetricsService struct {
 	logs     map[string]*commitlog.Log // jobID -> line log
 	counters map[string]int64
 	subs     map[string][]chan LogLine
+	// dataDir/storeWrap are injected by NewPlatform when Config.DataDir
+	// is set: each job's log then lives in its own FileStore directory
+	// (<DataDir>/learner-logs/<jobID>), lines are encoded into record
+	// payloads, and a reopened service lazily reopens existing dirs —
+	// so offsets and consumer cursors survive a process restart.
+	dataDir   string
+	storeWrap StoreWrapper
 }
 
 // NewMetricsService returns an empty service.
@@ -45,16 +53,40 @@ func NewMetricsService() *MetricsService {
 	}
 }
 
-// jobLogLocked returns (creating if needed) a job's line log.
-func (m *MetricsService) jobLogLocked(jobID string) *commitlog.Log {
+// jobLogLocked returns (opening if needed) a job's line log. The error
+// path is real only in durable mode (a FileStore that cannot recover);
+// MemStore opens cannot fail.
+func (m *MetricsService) jobLogLocked(jobID string) (*commitlog.Log, error) {
+	if l, ok := m.logs[jobID]; ok {
+		return l, nil
+	}
+	store, err := openLogStore(m.dataDir, dirLearnerLogs+"/"+jobID, m.storeWrap)
+	if err != nil {
+		return nil, err
+	}
+	l, err := commitlog.Open(store, commitlog.Options{SegmentRecords: 1024})
+	if err != nil {
+		return nil, fmt.Errorf("core: open job log %s: %w", jobID, err)
+	}
+	m.logs[jobID] = l
+	return l, nil
+}
+
+// jobLogForReadLocked resolves a job's log for a read path: an already
+// open log, or a lazy reopen when the job's directory exists on disk
+// (a recovered platform serving pre-restart logs). Unknown jobs return
+// nil without littering DataDir with empty directories.
+func (m *MetricsService) jobLogForReadLocked(jobID string) *commitlog.Log {
 	if l, ok := m.logs[jobID]; ok {
 		return l
 	}
-	l, err := commitlog.Open(commitlog.NewMemStore(), commitlog.Options{SegmentRecords: 1024})
-	if err != nil {
-		panic("core: job log open on empty store cannot fail: " + err.Error())
+	if !hasLogDir(m.dataDir, dirLearnerLogs+"/"+jobID) {
+		return nil
 	}
-	m.logs[jobID] = l
+	l, err := m.jobLogLocked(jobID)
+	if err != nil {
+		return nil
+	}
 	return l
 }
 
@@ -62,13 +94,23 @@ func (m *MetricsService) jobLogLocked(jobID string) *commitlog.Log {
 // to streamers.
 func (m *MetricsService) AppendLog(line LogLine) {
 	m.mu.Lock()
-	l := m.jobLogLocked(line.JobID)
+	l, err := m.jobLogLocked(line.JobID)
+	if err != nil {
+		m.counters["metrics.log_open_errors"]++
+		m.mu.Unlock()
+		return
+	}
 	// Mint the offset up front so the stored value carries it (m.mu
 	// serializes appends per service, so NextOffset is exact).
 	line.Offset = l.NextOffset()
-	if _, err := l.AppendValue("", line); err != nil {
+	if m.dataDir != "" {
+		_, err = l.Append("", encodeLogLine(nil, line))
+	} else {
+		_, err = l.AppendValue("", line)
+	}
+	if err != nil {
 		m.mu.Unlock()
-		return // unreachable on a MemStore; never half-publish
+		return // never half-publish
 	}
 	subs := m.subs[line.JobID]
 	m.mu.Unlock()
@@ -80,22 +122,64 @@ func (m *MetricsService) AppendLog(line LogLine) {
 	}
 }
 
+// CommitLogCursor durably records a consumer's cursor on a job's log:
+// next is the offset of the first line the consumer has not yet
+// processed. The cursor rides the commit log's consumer-offset map, so
+// on a DataDir platform it survives a full process restart (LogCursor
+// recovers it) and pins retention — unconsumed lines are never trimmed
+// out from under a registered consumer.
+func (m *MetricsService) CommitLogCursor(jobID, consumer string, next uint64) error {
+	m.mu.Lock()
+	l, err := m.jobLogLocked(jobID)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return l.Commit(consumer, next)
+}
+
+// LogCursor returns a consumer's recorded cursor on a job's log
+// (ok=false when the consumer or job is unknown).
+func (m *MetricsService) LogCursor(jobID, consumer string) (uint64, bool) {
+	m.mu.Lock()
+	l := m.jobLogForReadLocked(jobID)
+	m.mu.Unlock()
+	if l == nil {
+		return 0, false
+	}
+	return l.Committed(consumer)
+}
+
 // linesFrom decodes a job's retained lines with Offset >= from.
 func (m *MetricsService) linesFrom(jobID string, from uint64) []LogLine {
 	m.mu.Lock()
-	l, ok := m.logs[jobID]
+	l := m.jobLogForReadLocked(jobID)
 	m.mu.Unlock()
-	if !ok {
+	if l == nil {
 		return nil
 	}
 	recs := l.Records(from)
 	out := make([]LogLine, 0, len(recs))
 	for _, rec := range recs {
-		if line, isLine := rec.Value.(LogLine); isLine {
+		if line, isLine := logLineRec(rec); isLine {
 			out = append(out, line)
 		}
 	}
 	return out
+}
+
+// logLineRec extracts the LogLine a log record carries: the in-memory
+// Value on the MemStore path, decoded from the durable payload
+// otherwise (records recovered from a reopened store carry no Value).
+func logLineRec(rec commitlog.Record) (LogLine, bool) {
+	if line, ok := rec.Value.(LogLine); ok {
+		return line, true
+	}
+	if len(rec.Payload) == 0 {
+		return LogLine{}, false
+	}
+	line, err := decodeLogLine(rec.Payload)
+	return line, err == nil
 }
 
 // Logs returns all lines for a job (copy).

@@ -109,6 +109,21 @@ type Config struct {
 	// (etcd.Options.GobCodec) — the codec ablation arm of the throughput
 	// experiment. Leave false.
 	EtcdGobCodec bool
+
+	// DataDir, when set, roots the platform's durable logs: the mongo
+	// oplog, the status bus's replay window, and per-job learner logs
+	// each open a commitlog.FileStore directory under it (see
+	// durable.go for the layout) and are recovered on boot — job
+	// documents, status history, log offsets, consumer cursors and
+	// retained floors all survive a full process restart. Empty (the
+	// default) keeps every log in memory.
+	DataDir string
+
+	// StoreWrapper, when non-nil, wraps each durable log's segment
+	// store as it opens — the chaos harness's hook for injecting
+	// FaultStore crash/corruption under the real file layout. Leave nil
+	// in production configs.
+	StoreWrapper StoreWrapper
 }
 
 func (c *Config) defaults() {
@@ -249,10 +264,41 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		return nil, fmt.Errorf("core: boot etcd: %w", err)
 	}
 
-	db := mongo.NewDB()
+	oplogStore, err := openLogStore(cfg.DataDir, dirMongoOplog, cfg.StoreWrapper)
+	if err != nil {
+		return nil, err
+	}
+	db, err := mongo.Open(oplogStore, mongo.Options{Persist: cfg.DataDir != ""})
+	if err != nil {
+		return nil, fmt.Errorf("core: open metadata store: %w", err)
+	}
 	jobs := db.C("jobs")
 	jobs.EnsureIndex("user")
 	jobs.EnsureIndex("status")
+
+	// Recover the job-id sequence past every persisted job so a
+	// reopened platform never re-mints an existing "training-%06d" id.
+	jobSeq := 0
+	for _, d := range jobs.Find(mongo.Filter{}, mongo.FindOpts{}) {
+		id, _ := d["_id"].(string)
+		var n int
+		if _, err := fmt.Sscanf(id, "training-%d", &n); err == nil && n > jobSeq {
+			jobSeq = n
+		}
+	}
+
+	busStore, err := openLogStore(cfg.DataDir, dirStatusBus, cfg.StoreWrapper)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := newStatusBus(busStore, cfg.DataDir != "")
+	if err != nil {
+		return nil, err
+	}
+
+	metrics := NewMetricsService()
+	metrics.dataDir = cfg.DataDir
+	metrics.storeWrap = cfg.StoreWrapper
 
 	store := objstore.New(objstore.Config{Clock: cfg.Clock, AggregateBandwidth: cfg.StorageBandwidth})
 	prov := nfs.NewProvisioner(cfg.Clock, rng.Stream(2))
@@ -291,10 +337,11 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		Jobs:      jobs,
 		Store:     store,
 		NFS:       prov,
-		Metrics:   NewMetricsService(),
+		Metrics:   metrics,
 		Registry:  rpc.NewRegistry(),
-		bus:       newStatusBus(),
+		bus:       bus,
 		resources: make(map[string]*jobResources),
+		jobSeq:    jobSeq,
 		stopCh:    make(chan struct{}),
 	}
 	p.registerRuntimes()

@@ -1,0 +1,50 @@
+package expt
+
+import "testing"
+
+// TestRecoverySmoke pins the experiment's contract at a small size: the
+// FileStore arm brings every job, log line and saved cursor back across
+// the restart (with WatchStatus reconnects served by bus-log replay and
+// a stale change-stream resume flagged by an explicit resync), while
+// the MemStore ablation loses everything.
+func TestRecoverySmoke(t *testing.T) {
+	res, err := Recovery(RecoveryConfig{Jobs: 2, Churn: 3000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Recovery: %v", err)
+	}
+	if len(res.Arms) != 2 || res.Arms[0].FileStore || !res.Arms[1].FileStore {
+		t.Fatalf("arms = %+v, want [memstore, filestore]", res.Arms)
+	}
+	mem, file := res.Arms[0], res.Arms[1]
+
+	if mem.RecoveredJobs != 0 || mem.RecoveredOps != 0 || mem.RecoveredLogLines != 0 || mem.CursorsPreserved != 0 {
+		t.Fatalf("memstore arm recovered state across a process restart: %+v", mem)
+	}
+	if file.RecoveredJobs != res.Jobs {
+		t.Fatalf("filestore arm recovered %d/%d jobs", file.RecoveredJobs, res.Jobs)
+	}
+	if file.RecoveredLogLines == 0 {
+		t.Fatal("filestore arm recovered no learner-log lines")
+	}
+	if file.CursorsPreserved != res.Jobs {
+		t.Fatalf("filestore arm preserved %d/%d cursors", file.CursorsPreserved, res.Jobs)
+	}
+	if file.RecoveredOps <= uint64(res.Churn) {
+		t.Fatalf("filestore arm recovered %d oplog ops, want > churn %d", file.RecoveredOps, res.Churn)
+	}
+	if file.WatchReplays < 1 {
+		t.Fatalf("filestore arm watch.replays = %d (refills %d), want >= 1",
+			file.WatchReplays, file.WatchRefills)
+	}
+	if file.OplogFloor <= 1 || file.ResyncEvents != 1 {
+		t.Fatalf("filestore arm floor = %d, resyncs = %d; churn should have raised the floor and flagged the stale resume",
+			file.OplogFloor, file.ResyncEvents)
+	}
+	if file.ReopenMillis <= 0 {
+		t.Fatal("filestore arm reported no reopen latency")
+	}
+
+	if tb := RenderRecovery(res); tb.Caption == "" || len(tb.Rows) != 2 {
+		t.Fatalf("RenderRecovery: %+v", tb)
+	}
+}

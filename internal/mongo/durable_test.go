@@ -1,0 +1,283 @@
+package mongo
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/ffdl/ffdl/internal/commitlog"
+)
+
+func openFileDB(t *testing.T, dir string) *DB {
+	t.Helper()
+	store, err := commitlog.OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	db, err := Open(store, Options{Persist: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestOpCodecRoundtrip(t *testing.T) {
+	ops := []op{
+		{Seq: 1, Kind: "insert", Coll: "jobs", Doc: Doc{
+			"_id": "training-000001", "user": "alice", "iterations": 30,
+			"memory_mb": 4096, "lr": 0.125, "done": false,
+			"nested":  Doc{"a": int64(7), "b": "x"},
+			"history": []any{Doc{"status": "PENDING", "seq": 1}, Doc{"status": "COMPLETED"}},
+			"tags":    []string{"p1", "p2"},
+			"none":    nil,
+		}},
+		{Seq: 99, Kind: "update", Coll: "tenants", Doc: Doc{"_id": "t-1", "quota": float64(12)}},
+		{Seq: 100, Kind: "delete", Coll: "jobs", ID: "training-000001"},
+	}
+	for _, want := range ops {
+		buf, err := encodeOp(nil, want)
+		if err != nil {
+			t.Fatalf("encodeOp(%+v): %v", want, err)
+		}
+		got, err := decodeOp(buf)
+		if err != nil {
+			t.Fatalf("decodeOp: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("roundtrip mismatch:\n got %#v\nwant %#v", got, want)
+		}
+	}
+}
+
+func TestOpCodecPreservesDynamicTypes(t *testing.T) {
+	in := Doc{"_id": "x", "i": 5, "i32": int32(6), "i64": int64(7), "u": uint64(8),
+		"f32": float32(1.5), "f64": 2.5, "s": "str", "b": true}
+	buf, err := encodeOp(nil, op{Kind: "insert", Coll: "c", Doc: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeOp(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range in {
+		gv := got.Doc[k]
+		if reflect.TypeOf(gv) != reflect.TypeOf(v) {
+			t.Errorf("field %q: decoded type %T, want %T", k, gv, v)
+		}
+		if gv != v {
+			t.Errorf("field %q: decoded %v, want %v", k, gv, v)
+		}
+	}
+}
+
+func TestOpCodecRejectsUnknownTypes(t *testing.T) {
+	type weird struct{ X int }
+	if _, err := encodeOp(nil, op{Kind: "insert", Coll: "c", Doc: Doc{"_id": "x", "w": weird{1}}}); err == nil {
+		t.Fatal("encodeOp accepted a struct value")
+	}
+	if !errors.Is(mustErr(encodeOp(nil, op{Kind: "insert", Coll: "c", Doc: Doc{"w": weird{}}})), errOpEncType) {
+		t.Fatal("want errOpEncType")
+	}
+}
+
+func mustErr(_ []byte, err error) error { return err }
+
+func TestOpCodecCorruptInputErrors(t *testing.T) {
+	buf, err := encodeOp(nil, op{Seq: 3, Kind: "insert", Coll: "jobs", Doc: Doc{"_id": "a", "n": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := decodeOp(buf[:cut]); err == nil {
+			t.Fatalf("decodeOp accepted truncation at %d", cut)
+		}
+	}
+}
+
+// TestOpenRecoversCollections is the core durability contract: a
+// reopened database serves the same documents, resumes the op sequence,
+// and never re-mints a recovered auto-id.
+func TestOpenRecoversCollections(t *testing.T) {
+	dir := t.TempDir()
+	db := openFileDB(t, dir)
+	jobs := db.C("jobs")
+	jobs.EnsureIndex("user")
+	id1, err := jobs.Insert(Doc{"user": "alice", "status": "PENDING"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := jobs.Insert(Doc{"user": "bob", "status": "PENDING"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.UpdateOne(Filter{"_id": id1}, Update{Set: Doc{"status": "COMPLETED"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.DeleteOne(Filter{"_id": id2}); err != nil {
+		t.Fatal(err)
+	}
+	seqBefore := db.OplogLen()
+
+	db2 := openFileDB(t, dir)
+	jobs2 := db2.C("jobs")
+	if got := jobs2.Len(); got != 1 {
+		t.Fatalf("recovered %d docs, want 1", got)
+	}
+	d, err := jobs2.FindOne(Filter{"_id": id1})
+	if err != nil {
+		t.Fatalf("recovered doc missing: %v", err)
+	}
+	if d["status"] != "COMPLETED" {
+		t.Fatalf("recovered status %v, want COMPLETED (update post-image lost)", d["status"])
+	}
+	if got := db2.OplogLen(); got != seqBefore {
+		t.Fatalf("recovered OplogLen %d, want %d", got, seqBefore)
+	}
+	// Auto-id sequence must advance past recovered ids.
+	id3, err := jobs2.Insert(Doc{"user": "carol"})
+	if err != nil {
+		t.Fatalf("post-recovery insert: %v", err)
+	}
+	if id3 == id1 || id3 == id2 {
+		t.Fatalf("post-recovery insert re-minted id %s", id3)
+	}
+	// Indexes rebuilt over recovered docs.
+	jobs2.EnsureIndex("user")
+	if n := jobs2.Count(Filter{"user": "alice"}); n != 1 {
+		t.Fatalf("indexed count = %d, want 1", n)
+	}
+}
+
+// TestOpenTornOplogTail flips a byte in the newest segment file and
+// reopens: recovery must keep a strict prefix (never fail, never
+// resurrect the damaged suffix) and continue appending past it.
+func TestOpenTornOplogTail(t *testing.T) {
+	dir := t.TempDir()
+	db := openFileDB(t, dir)
+	c := db.C("items")
+	for i := 0; i < 20; i++ {
+		if _, err := c.Insert(Doc{"_id": fmt.Sprintf("it-%03d", i), "n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files: %v", err)
+	}
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 8 {
+		t.Fatalf("segment too small to corrupt: %d bytes", len(data))
+	}
+	data[len(data)-5] ^= 0xFF
+	if err := os.WriteFile(last, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openFileDB(t, dir)
+	c2 := db2.C("items")
+	n := c2.Len()
+	if n == 0 || n > 20 {
+		t.Fatalf("recovered %d docs, want a non-empty strict prefix of 20", n)
+	}
+	// Recovered docs must be exactly the first n inserted.
+	for i := 0; i < n; i++ {
+		if _, err := c2.FindOne(Filter{"_id": fmt.Sprintf("it-%03d", i)}); err != nil {
+			t.Fatalf("prefix hole at %d (recovered %d): %v", i, n, err)
+		}
+	}
+	// Appends continue with fresh offsets past the recovered tail.
+	before := db2.OplogLen()
+	if _, err := c2.Insert(Doc{"_id": "it-new"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.OplogLen(); got != before+1 {
+		t.Fatalf("OplogLen %d after append, want %d", got, before+1)
+	}
+}
+
+// TestReopenedFloorYieldsResync drives enough churn that retention
+// drops sealed segments, reopens, and checks a low resume token gets
+// the explicit resync marker — the floor must rise across restart, not
+// silently serve a gap.
+func TestReopenedFloorYieldsResync(t *testing.T) {
+	dir := t.TempDir()
+	db := openFileDB(t, dir)
+	c := db.C("churn")
+	if _, err := c.Insert(Doc{"_id": "doc", "n": 0}); err != nil {
+		t.Fatal(err)
+	}
+	// >2 segments of updates to the same key: compaction seals and merges,
+	// and the reopened log's first retained record sits well above seq 1.
+	for i := 1; i <= 5000; i++ {
+		if err := c.UpdateOne(Filter{"_id": "doc"}, Update{Set: Doc{"n": i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db2 := openFileDB(t, dir)
+	if floor := db2.OplogFloor(); floor <= 1 {
+		t.Fatalf("reopened floor = %d, want > 1 after compaction", floor)
+	}
+	cs := db2.Watch("churn", 1)
+	defer cs.Cancel()
+	ev, ok := <-cs.Events()
+	if !ok {
+		t.Fatal("stream closed without events")
+	}
+	if ev.Kind != "resync" {
+		t.Fatalf("first event Kind = %q, want explicit resync for a pre-floor token", ev.Kind)
+	}
+	// The latest state survived compaction.
+	d, err := db2.C("churn").FindOne(Filter{"_id": "doc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d["n"].(int); got != 5000 {
+		t.Fatalf("recovered n = %v, want 5000", d["n"])
+	}
+}
+
+// TestOpenEmptyStore: an empty FileStore directory is a valid empty
+// database.
+func TestOpenEmptyStore(t *testing.T) {
+	db := openFileDB(t, t.TempDir())
+	if db.OplogLen() != 0 {
+		t.Fatalf("OplogLen = %d on empty store", db.OplogLen())
+	}
+	if db.C("x").Len() != 0 {
+		t.Fatal("phantom docs in empty store")
+	}
+}
+
+// TestDurableChangeStreamResumesBySeq: a change stream resumed from a
+// retained token replays exactly the missed suffix.
+func TestDurableChangeStreamResumesBySeq(t *testing.T) {
+	dir := t.TempDir()
+	db := openFileDB(t, dir)
+	c := db.C("jobs")
+	for i := 0; i < 10; i++ {
+		if _, err := c.Insert(Doc{"_id": fmt.Sprintf("j-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2 := openFileDB(t, dir)
+	cs := db2.Watch("jobs", 4) // resume token: saw seqs 1..4
+	defer cs.Cancel()
+	for want := uint64(5); want <= 10; want++ {
+		ev := <-cs.Events()
+		if ev.Kind == "resync" {
+			t.Fatalf("unexpected resync for retained token (floor %d)", db2.OplogFloor())
+		}
+		if ev.Seq != want {
+			t.Fatalf("resumed Seq %d, want %d", ev.Seq, want)
+		}
+	}
+}

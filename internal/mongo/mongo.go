@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -823,6 +824,22 @@ type DB struct {
 	subs    map[int]chan op
 	nextSub int
 	closed  bool
+	// persist encodes every oplog entry into its record payload (see
+	// opcodec.go) so the log's durable bytes are self-contained; set for
+	// FileStore-backed databases, off for the MemStore default where ops
+	// ride the in-memory record Value.
+	persist bool
+}
+
+// Options configures Open.
+type Options struct {
+	// Persist makes the oplog's durable bytes self-contained: every
+	// entry is encoded into its record payload, and key-compaction is
+	// enabled so retention always keeps at least the newest op per
+	// document — which is what makes collections rebuildable from the
+	// retained log on reopen. Set it when the store outlives the
+	// process (FileStore); leave it off for MemStore.
+	Persist bool
 }
 
 // oplogOptions bounds the retained oplog at ~64k entries (64 sealed
@@ -838,13 +855,112 @@ func oplogOptions() commitlog.Options {
 	}
 }
 
-// NewDB returns an empty database.
+// NewDB returns an empty database over a fresh in-memory oplog. It is
+// the infallible constructor: an empty MemStore cannot fail to open.
+// Durable databases use Open, which surfaces store errors instead of
+// panicking.
 func NewDB() *DB {
-	log, err := commitlog.Open(commitlog.NewMemStore(), oplogOptions())
+	db, err := Open(commitlog.NewMemStore(), Options{})
 	if err != nil {
 		panic(fmt.Sprintf("mongo: oplog open on empty store cannot fail: %v", err))
 	}
-	return &DB{colls: make(map[string]*Collection), oplog: log, subs: make(map[int]chan op)}
+	return db
+}
+
+// Open opens a database over the given oplog store, recovering whatever
+// the store holds: collections are rebuilt by replaying the retained
+// oplog (key-compaction keeps at least the newest op per document, and
+// update entries carry full post-images, so the replay converges on the
+// latest committed state), the op sequence resumes past the last
+// persisted record, and per-collection auto-id sequences advance past
+// every recovered id. An empty store yields an empty database. A torn
+// oplog tail — a crash mid-append — is truncated to the last valid
+// record by the commit log's own recovery; Open never fails on one.
+func Open(store commitlog.SegmentStore, opts Options) (*DB, error) {
+	lopts := oplogOptions()
+	if opts.Persist {
+		// Without compaction, MaxSegments retention would eventually drop
+		// the only insert a long-lived document ever had; latest-per-key
+		// retention keeps recovery complete at any log length.
+		lopts.Compact = true
+	}
+	log, err := commitlog.Open(store, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("mongo: open oplog: %w", err)
+	}
+	db := &DB{
+		colls:   make(map[string]*Collection),
+		oplog:   log,
+		subs:    make(map[int]chan op),
+		persist: opts.Persist,
+	}
+	if next := log.NextOffset(); next > lopts.FirstOffset {
+		db.opSeq = next - 1
+	}
+	for _, rec := range log.Records(0) {
+		if o, ok := recOp(rec); ok {
+			db.applyRecovered(o)
+		}
+	}
+	return db, nil
+}
+
+// applyRecovered replays one recovered oplog entry into the collections
+// during Open — without re-logging it (it is already in the log).
+func (db *DB) applyRecovered(o op) {
+	c := db.C(o.Coll)
+	switch o.Kind {
+	case "insert", "update":
+		id, _ := o.Doc["_id"].(string)
+		if id == "" {
+			return
+		}
+		c.mu.Lock()
+		if old, ok := c.docs[id]; ok {
+			c.indexRemoveLocked(old, id)
+		}
+		c.docs[id] = o.Doc
+		c.indexAddLocked(o.Doc, id)
+		c.bumpSeqLocked(id)
+		c.mu.Unlock()
+	case "delete":
+		c.mu.Lock()
+		if old, ok := c.docs[o.ID]; ok {
+			c.indexRemoveLocked(old, o.ID)
+			delete(c.docs, o.ID)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// bumpSeqLocked advances the auto-id sequence past a recovered id of
+// the collection's own "<name>-%06d" form, so post-recovery inserts
+// never collide with recovered documents.
+func (c *Collection) bumpSeqLocked(id string) {
+	rest, ok := strings.CutPrefix(id, c.name+"-")
+	if !ok {
+		return
+	}
+	if n, err := strconv.ParseUint(rest, 10, 64); err == nil && n > c.seq {
+		c.seq = n
+	}
+}
+
+// recOp extracts the op a log record carries: the in-memory Value on
+// the MemStore hot path, decoded from the durable payload otherwise
+// (records recovered from a reopened store carry no Value).
+func recOp(rec commitlog.Record) (op, bool) {
+	if o, ok := rec.Value.(op); ok {
+		return o, true
+	}
+	if len(rec.Payload) == 0 {
+		return op{}, false
+	}
+	o, err := decodeOp(rec.Payload)
+	if err != nil {
+		return op{}, false
+	}
+	return o, true
 }
 
 // C returns (creating if needed) the named collection.
@@ -875,13 +991,25 @@ func (db *DB) logOp(o op) {
 	if id == "" && o.Doc != nil {
 		id, _ = o.Doc["_id"].(string)
 	}
-	// The op rides the record's in-memory Value (the oplog is
-	// MemStore-backed; nothing crosses a codec on this hot path), keyed
-	// by collection+_id. Its Seq is the record's offset, minted up
-	// front so the stored value carries it — db.mu serializes appends,
-	// so NextOffset is exact.
+	// The op is keyed by collection+_id; its Seq is the record's offset,
+	// minted up front so the stored value carries it — db.mu serializes
+	// appends, so NextOffset is exact. On the MemStore hot path the op
+	// rides the record's in-memory Value and nothing crosses a codec; a
+	// durable oplog encodes it into the payload instead, so the bytes on
+	// disk are self-contained.
 	o.Seq = db.oplog.NextOffset()
-	if _, err := db.oplog.AppendValue(o.Coll+"\x00"+id, o); err != nil {
+	if db.persist {
+		payload, err := encodeOp(nil, o)
+		if err != nil {
+			// A value outside the codec's tagged set is a type-contract
+			// violation by the writer, not an I/O condition; dropping the
+			// entry would silently lose the write at recovery.
+			panic(fmt.Sprintf("mongo: durable oplog entry for %s/%s: %v", o.Coll, id, err))
+		}
+		if _, err := db.oplog.Append(o.Coll+"\x00"+id, payload); err != nil {
+			return // store failed; never half-publish
+		}
+	} else if _, err := db.oplog.AppendValue(o.Coll+"\x00"+id, o); err != nil {
 		return // unreachable on a MemStore; never half-publish
 	}
 	db.opSeq = o.Seq
@@ -922,7 +1050,7 @@ func (db *DB) addSub(ch chan op, fromSeq uint64) (id int, backlog []op, truncate
 	db.subs[db.nextSub] = ch
 	truncated = fromSeq > 0 && fromSeq+1 < db.oplog.OldestOffset()
 	for _, rec := range db.oplog.Records(fromSeq + 1) {
-		if o, ok := rec.Value.(op); ok {
+		if o, ok := recOp(rec); ok {
 			backlog = append(backlog, o)
 		}
 	}

@@ -1,0 +1,312 @@
+package mongo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Oplog entry codec for durable (FileStore-backed) databases. MemStore
+// oplogs carry each op as the record's in-memory Value and never cross
+// a codec; a durable oplog must survive a process restart, so the op is
+// encoded into the record's payload instead and decoded on recovery
+// (commitlog record frames already checksum payloads, so the codec
+// carries no CRC of its own).
+//
+// Layout: uvarint/varint integers, length-prefixed strings, and a
+// one-byte type tag per document value. Doc values round-trip with
+// their dynamic type preserved (int stays int, int64 stays int64, ...)
+// because readers downstream switch on those types (jobdoc's getI,
+// tenant quota docs). Value types outside the tagged set are rejected
+// at encode time — loudly, at the write — rather than silently
+// re-typed at recovery.
+
+// Doc value type tags.
+const (
+	opvNil byte = iota
+	opvString
+	opvInt
+	opvInt32
+	opvInt64
+	opvUint64
+	opvFloat32
+	opvFloat64
+	opvBool
+	opvDoc
+	opvList // []any
+	opvStrs // []string
+)
+
+var (
+	errOpShort   = errors.New("mongo: truncated oplog entry")
+	errOpTag     = errors.New("mongo: unknown oplog value tag")
+	errOpLen     = errors.New("mongo: oplog entry length out of range")
+	errOpEncType = errors.New("mongo: unencodable doc value type")
+)
+
+// maxOpLen bounds any single decoded length (matches the commit log's
+// frame bound).
+const maxOpLen = 1 << 26
+
+// encodeOp appends the durable form of o to dst.
+func encodeOp(dst []byte, o op) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, o.Seq)
+	dst = appendOpString(dst, o.Kind)
+	dst = appendOpString(dst, o.Coll)
+	dst = appendOpString(dst, o.ID)
+	if o.Doc == nil {
+		return append(dst, opvNil), nil
+	}
+	return appendOpDoc(dst, o.Doc)
+}
+
+// decodeOp parses one durable oplog entry.
+func decodeOp(data []byte) (op, error) {
+	r := opReader{buf: data}
+	var o op
+	var err error
+	if o.Seq, err = r.uvarint(); err != nil {
+		return op{}, err
+	}
+	if o.Kind, err = r.str(); err != nil {
+		return op{}, err
+	}
+	if o.Coll, err = r.str(); err != nil {
+		return op{}, err
+	}
+	if o.ID, err = r.str(); err != nil {
+		return op{}, err
+	}
+	v, err := r.value()
+	if err != nil {
+		return op{}, err
+	}
+	if v != nil {
+		d, ok := v.(Doc)
+		if !ok {
+			return op{}, fmt.Errorf("%w: op document is %T", errOpTag, v)
+		}
+		o.Doc = d
+	}
+	if r.off != len(r.buf) {
+		return op{}, fmt.Errorf("mongo: %d trailing bytes after oplog entry", len(r.buf)-r.off)
+	}
+	return o, nil
+}
+
+func appendOpString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendOpValue appends one tagged document value.
+func appendOpValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, opvNil), nil
+	case string:
+		return appendOpString(append(dst, opvString), x), nil
+	case int:
+		return binary.AppendVarint(append(dst, opvInt), int64(x)), nil
+	case int32:
+		return binary.AppendVarint(append(dst, opvInt32), int64(x)), nil
+	case int64:
+		return binary.AppendVarint(append(dst, opvInt64), x), nil
+	case uint64:
+		return binary.AppendUvarint(append(dst, opvUint64), x), nil
+	case float32:
+		dst = append(dst, opvFloat32)
+		return binary.BigEndian.AppendUint32(dst, math.Float32bits(x)), nil
+	case float64:
+		dst = append(dst, opvFloat64)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(dst, opvBool, b), nil
+	case Doc:
+		return appendOpDoc(dst, x)
+	case map[string]any:
+		return appendOpDoc(dst, Doc(x))
+	case []any:
+		dst = append(dst, opvList)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if dst, err = appendOpValue(dst, e); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case []string:
+		dst = append(dst, opvStrs)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, s := range x {
+			dst = appendOpString(dst, s)
+		}
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", errOpEncType, v)
+	}
+}
+
+func appendOpDoc(dst []byte, d Doc) ([]byte, error) {
+	dst = append(dst, opvDoc)
+	dst = binary.AppendUvarint(dst, uint64(len(d)))
+	var err error
+	for k, v := range d {
+		dst = appendOpString(dst, k)
+		if dst, err = appendOpValue(dst, v); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// opReader is a bounds-checked cursor over an encoded op.
+type opReader struct {
+	buf []byte
+	off int
+}
+
+func (r *opReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errOpShort
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *opReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errOpShort
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *opReader) length() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxOpLen {
+		return 0, errOpLen
+	}
+	return int(v), nil
+}
+
+func (r *opReader) str() (string, error) {
+	n, err := r.length()
+	if err != nil {
+		return "", err
+	}
+	if r.off+n > len(r.buf) {
+		return "", errOpShort
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *opReader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, errOpShort
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *opReader) value() (any, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case opvNil:
+		return nil, nil
+	case opvString:
+		return r.str()
+	case opvInt:
+		v, err := r.varint()
+		return int(v), err
+	case opvInt32:
+		v, err := r.varint()
+		return int32(v), err
+	case opvInt64:
+		return r.varint()
+	case opvUint64:
+		return r.uvarint()
+	case opvFloat32:
+		if r.off+4 > len(r.buf) {
+			return nil, errOpShort
+		}
+		v := math.Float32frombits(binary.BigEndian.Uint32(r.buf[r.off:]))
+		r.off += 4
+		return v, nil
+	case opvFloat64:
+		if r.off+8 > len(r.buf) {
+			return nil, errOpShort
+		}
+		v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+		r.off += 8
+		return v, nil
+	case opvBool:
+		b, err := r.byte()
+		return b != 0, err
+	case opvDoc:
+		n, err := r.length()
+		if err != nil {
+			return nil, err
+		}
+		d := make(Doc, n)
+		for i := 0; i < n; i++ {
+			k, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.value()
+			if err != nil {
+				return nil, err
+			}
+			d[k] = v
+		}
+		return d, nil
+	case opvList:
+		n, err := r.length()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
+			v, err := r.value()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case opvStrs:
+		n, err := r.length()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x", errOpTag, tag)
+	}
+}

@@ -1,0 +1,107 @@
+// Command gen-fuzz-corpus regenerates the FuzzOffsetMapDecode seed
+// corpus from real offsets.log files — written by the durable
+// production paths under a DataDir and carried across a
+// chaos.ProcessRestart — rather than hand-built frames, so the fuzzer
+// starts from the exact byte shapes recovery actually reads. Run from
+// the repo root:
+//
+//	go run ./tools/gen-fuzz-corpus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/chaos"
+	"github.com/ffdl/ffdl/internal/commitlog"
+	"github.com/ffdl/ffdl/internal/core"
+)
+
+func main() {
+	outDir := filepath.Join("internal", "commitlog", "testdata", "fuzz", "FuzzOffsetMapDecode")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	dataDir, err := os.MkdirTemp("", "ffdl-corpus-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir) //nolint:errcheck
+
+	// A learner log under the real DataDir layout: lines appended by the
+	// metrics service, two follower cursors committed, then the whole
+	// platform restarted and one cursor advanced — so the second
+	// snapshot holds frames appended over a recovered map.
+	r, err := chaos.NewProcessRestart(core.Config{
+		Seed: 7, DataDir: dataDir,
+		PollInterval: 2 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Stop()
+	p := r.Platform()
+	for i := 1; i <= 50; i++ {
+		p.Metrics.AppendLog(core.LogLine{
+			JobID: "jobX", Time: time.Unix(int64(i), 0),
+			Text: fmt.Sprintf("line-%03d", i),
+		})
+	}
+	offsetsLog := filepath.Join(dataDir, "learner-logs", "jobX", "offsets.log")
+	must(p.Metrics.CommitLogCursor("jobX", "cli-follower", 10))
+	must(p.Metrics.CommitLogCursor("jobX", "archiver", 25))
+	save(outDir, "learner-log-two-consumers", offsetsLog)
+	p2, err := r.Restart()
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(p2.Metrics.CommitLogCursor("jobX", "cli-follower", 30))
+	save(outDir, "learner-log-post-restart", offsetsLog)
+
+	// A map that has been through rewrite cycles (OffsetsRewriteEvery
+	// collapses the append-only frames back to one).
+	dir2, err := os.MkdirTemp("", "ffdl-corpus-rw-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir2) //nolint:errcheck
+	fs, err := commitlog.OpenFileStore(dir2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := commitlog.Open(fs, commitlog.Options{OffsetsRewriteEvery: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		must(l.Commit("watch", uint64(i)))
+	}
+	save(outDir, "rewrite-cycle", filepath.Join(dir2, "offsets.log"))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// save snapshots one offsets.log into a go-fuzz seed corpus file.
+func save(outDir, name, src string) {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		log.Fatalf("read %s: %v", src, err)
+	}
+	if len(data) == 0 {
+		log.Fatalf("%s: empty offsets.log — nothing worth seeding", src)
+	}
+	body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	dst := filepath.Join(outDir, name)
+	if err := os.WriteFile(dst, []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d offsets.log bytes)\n", dst, len(data))
+}
