@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race cover bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke commitlog-smoke recovery-smoke docs-check ci
+.PHONY: all fmt vet build test race cover bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke commitlog-smoke recovery-smoke obs-smoke docs-check ci
 
 all: build
 
@@ -25,11 +25,12 @@ test:
 # Race gate for the concurrency-heavy paths: the tenant dispatcher and
 # the scheduler/admission package it drives, the event substrate (every
 # subsystem appends to commit logs under concurrent readers), the core
-# platform that fans its events out, and the durable stores layered on
-# the commit log (mongo oplog recovery, etcd watch history).
+# platform that fans its events out, the durable stores layered on
+# the commit log (mongo oplog recovery, etcd watch history), and the
+# observability registry every hot path hammers concurrently.
 race:
-	$(GO) vet ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/...
-	$(GO) test -race -short ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/...
+	$(GO) vet ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/... ./internal/obs/...
+	$(GO) test -race -short ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/... ./internal/obs/...
 
 # Coverage artifact: a whole-repo coverprofile plus the per-function
 # summary CI uploads (cover.out, cover.txt).
@@ -92,6 +93,12 @@ commitlog-smoke:
 recovery-smoke:
 	$(GO) run ./cmd/ffdl-bench -recovery -rc-jobs 2 -rc-churn 3000 -json bench-recovery.json
 
+# Observability gate: interleaved instrumented-vs-DisableObs throughput
+# pairs; fails (exit 1) if the median overhead exceeds the 5% budget.
+# Emits the BENCH json artifact CI uploads (bench-obs.json).
+obs-smoke:
+	$(GO) run ./cmd/ffdl-bench -obs-overhead -obs-submitters 16 -obs-jobs 32 -obs-pairs 3 -json bench-obs.json
+
 # Docs drift gate: README.md must mention every example, and
 # docs/architecture.md must cover every internal package, and the watch
 # protocol spec must exist, cover all four watch layers, and be linked
@@ -114,6 +121,12 @@ docs-check:
 	done; \
 	for anchor in Durability DataDir mongo-oplog status-bus learner-logs "Recovery on open"; do \
 		grep -q "$$anchor" docs/architecture.md || { echo "docs/architecture.md does not cover '$$anchor'"; ok=0; }; \
+	done; \
+	for anchor in Observability "subsystem.name" "/v1/metrics" "/v1/jobs/{id}/trace" DisableObs "obs-overhead"; do \
+		grep -q "$$anchor" docs/architecture.md || { echo "docs/architecture.md does not cover '$$anchor'"; ok=0; }; \
+	done; \
+	for anchor in "watch.replays" "watch.refills"; do \
+		grep -q "$$anchor" docs/watch-protocol.md || { echo "docs/watch-protocol.md does not cover '$$anchor'"; ok=0; }; \
 	done; \
 	grep -q "watch-protocol.md" docs/architecture.md || { echo "docs/architecture.md does not link watch-protocol.md"; ok=0; }; \
 	grep -q "watch-protocol.md" README.md || { echo "README.md does not link watch-protocol.md"; ok=0; }; \

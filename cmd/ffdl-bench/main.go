@@ -14,6 +14,7 @@
 //	ffdl-bench -throughput -tp-submitters 64 -json bench-throughput.json
 //	ffdl-bench -commitlog -json bench-commitlog.json
 //	ffdl-bench -recovery -rc-jobs 3 -json bench-recovery.json
+//	ffdl-bench -obs-overhead -obs-submitters 16 -json bench-obs.json
 package main
 
 import (
@@ -54,6 +55,11 @@ func main() {
 		recovery   = flag.Bool("recovery", false, "run the restart-the-world recovery experiment (FileStore DataDir vs the MemStore ablation)")
 		rcJobs     = flag.Int("rc-jobs", 0, "jobs completed before the restart for -recovery (0 = default 3)")
 		rcChurn    = flag.Int("rc-churn", 0, "floor-raising oplog churn for -recovery (0 = default 3000)")
+		obsOver    = flag.Bool("obs-overhead", false, "run the observability-overhead gate (instrumented vs DisableObs ablation; nonzero exit when over budget)")
+		obsSubs    = flag.Int("obs-submitters", 0, "concurrent submitters per arm for -obs-overhead (0 = default 16)")
+		obsJobs    = flag.Int("obs-jobs", 0, "submissions per arm for -obs-overhead (0 = default 2x submitters)")
+		obsPairs   = flag.Int("obs-pairs", 0, "interleaved instrumented/ablation pairs for -obs-overhead (0 = default 3)")
+		obsTol     = flag.Float64("obs-tolerance", 0, "accepted throughput loss percent for -obs-overhead (0 = default 5)")
 		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant / -throughput / -commitlog / -recovery results as JSON to this file")
 	)
 	flag.Parse()
@@ -79,8 +85,18 @@ func main() {
 	if *recovery {
 		payload["recovery"] = runRecovery(*rcJobs, *rcChurn, *seed)
 	}
+	obsFailed := false
+	if *obsOver {
+		res := runObsOverhead(*obsSubs, *obsJobs, *obsPairs, *obsTol, *seed)
+		payload["obs_overhead"] = res
+		obsFailed = !res.WithinBudget
+	}
 	if len(payload) > 0 {
 		writeJSON(*jsonOut, payload)
+	}
+	if obsFailed {
+		fmt.Fprintln(os.Stderr, "ffdl-bench: obs-overhead gate FAILED: instrumented throughput over budget")
+		os.Exit(1)
 	}
 	if !*all && *table == 0 && *fig == 0 {
 		if len(payload) > 0 {
@@ -263,6 +279,23 @@ func runRecovery(jobs, churn int, seed int64) expt.RecoveryResult {
 		os.Exit(1)
 	}
 	fmt.Println(expt.RenderRecovery(res).String())
+	return res
+}
+
+// runObsOverhead runs the observability-overhead gate, prints the
+// table, and returns the raw result for the BENCH json artifact. The
+// caller exits nonzero when the gate fails (after the JSON artifact is
+// written, so CI keeps the evidence).
+func runObsOverhead(submitters, jobs, pairs int, tolerance float64, seed int64) expt.ObsOverheadResult {
+	res, err := expt.ObsOverhead(expt.ObsOverheadConfig{
+		Submitters: submitters, Jobs: jobs, Pairs: pairs,
+		TolerancePct: tolerance, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: obs-overhead: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(expt.RenderObsOverhead(res).String())
 	return res
 }
 

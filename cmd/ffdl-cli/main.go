@@ -8,6 +8,8 @@
 //	ffdl-cli list [-user alice]
 //	ffdl-cli logs <jobID> [-search iteration] [-follow [-from offset]]
 //	ffdl-cli halt|resume|terminate <jobID>
+//	ffdl-cli trace <jobID> [-chrome]
+//	ffdl-cli metrics
 //	ffdl-cli cluster
 //	ffdl-cli quota get -user alice
 //	ffdl-cli quota set -user alice -tier paid -gpus 8
@@ -73,6 +75,19 @@ func main() {
 	case "halt", "resume", "terminate":
 		needID(rest)
 		post(*server + "/v1/jobs/" + rest[0] + "/" + cmd)
+	case "trace":
+		needID(rest)
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		chrome := fs.Bool("chrome", false, "emit Chrome trace-event JSON (load in chrome://tracing or Perfetto)")
+		fs.Parse(rest[1:]) //nolint:errcheck
+		url := *server + "/v1/jobs/" + rest[0] + "/trace"
+		if *chrome {
+			raw(url + "?format=chrome")
+			return
+		}
+		get(url)
+	case "metrics":
+		raw(*server + "/v1/metrics")
 	case "cluster":
 		get(*server + "/v1/cluster")
 	case "quota":
@@ -83,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ffdl-cli [-server URL] submit|status|list|logs|halt|resume|terminate|cluster|quota ...")
+	fmt.Fprintln(os.Stderr, "usage: ffdl-cli [-server URL] submit|status|list|logs|halt|resume|terminate|trace|metrics|cluster|quota ...")
 	os.Exit(2)
 }
 
@@ -230,6 +245,22 @@ func get(url string) {
 	}
 	defer resp.Body.Close()
 	prettyPrint(resp.Body)
+}
+
+// raw streams a non-JSON (or pre-rendered JSON) body to stdout
+// verbatim: the Prometheus text exposition and the Chrome trace-event
+// payload are meant for files and scrapers, not re-indenting.
+func raw(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		prettyPrint(resp.Body)
+		os.Exit(1)
+	}
+	io.Copy(os.Stdout, resp.Body) //nolint:errcheck
 }
 
 func post(url string) {

@@ -15,9 +15,13 @@
 //	GET  /v1/jobs/{id}/logs      collected logs (?search=), or a live
 //	                             NDJSON stream with ?follow=1&from=<offset>
 //	                             (resumable by LogLine offset)
+//	GET  /v1/jobs/{id}/trace     job trace span tree (JSON; ?format=chrome
+//	                             emits Chrome trace-event JSON for
+//	                             chrome://tracing / Perfetto)
 //	POST /v1/jobs/{id}/halt      HALT (checkpoint + release GPUs)
 //	POST /v1/jobs/{id}/resume    RESUME from latest checkpoint
 //	POST /v1/jobs/{id}/terminate cancel
+//	GET  /v1/metrics             platform metrics (Prometheus text exposition)
 //	GET  /v1/cluster             GPU utilization
 //	GET  /v1/tenants             list tenant quotas (with -tenancy)
 //	GET  /v1/tenants/{user}      one tenant's quota + live GPU usage
@@ -170,6 +174,24 @@ func main() {
 				return
 			}
 			writeJSON(w, http.StatusOK, reply)
+		case action == "trace" && r.Method == http.MethodGet:
+			tr, err := client.Trace(ctx, jobID)
+			if err != nil {
+				fail(w, http.StatusNotFound, err)
+				return
+			}
+			if r.URL.Query().Get("format") == "chrome" {
+				buf, cerr := tr.ChromeTrace()
+				if cerr != nil {
+					fail(w, http.StatusInternalServerError, cerr)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusOK)
+				w.Write(buf) //nolint:errcheck
+				return
+			}
+			writeJSON(w, http.StatusOK, tr)
 		case action == "logs" && r.Method == http.MethodGet:
 			if r.URL.Query().Get("follow") != "" {
 				// Live follow: lines are pushed as NDJSON as learners
@@ -230,6 +252,19 @@ func main() {
 		default:
 			w.WriteHeader(http.StatusMethodNotAllowed)
 		}
+	})
+
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		snap, err := client.Metrics(ctx)
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, snap.Prom()) //nolint:errcheck
 	})
 
 	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {

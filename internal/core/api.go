@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/obs"
 	"github.com/ffdl/ffdl/internal/rpc"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
@@ -86,6 +87,17 @@ type StatusItem struct {
 	Entry StatusEntry
 }
 
+// MetricsArgs requests a metrics snapshot.
+type MetricsArgs struct{}
+
+// MetricsReply carries one consistent snapshot of every instrument in
+// the platform registry (counters, gauges, histograms, collector-
+// mirrored subsystem stats).
+type MetricsReply struct{ Snapshot obs.Snapshot }
+
+// TraceReply carries one job's trace span tree.
+type TraceReply struct{ Trace obs.Trace }
+
 // apiReplica is one instance of the API microservice. The paper runs
 // these as a replica set behind the K8s service registry; here each
 // replica is an RPC server registered into the shared Registry, with
@@ -118,6 +130,8 @@ func (a *apiReplica) listen() error {
 	srv.Register("API.Halt", JobArgs{}, a.control(controlHalt))
 	srv.Register("API.Resume", JobArgs{}, a.control(controlResume))
 	srv.Register("API.Terminate", JobArgs{}, a.control(controlTerminate))
+	srv.Register("API.Metrics", MetricsArgs{}, a.handleMetrics)
+	srv.Register("API.Trace", JobArgs{}, a.handleTrace)
 	srv.RegisterStream("API.Logs", LogsArgs{}, a.handleLogs)
 	srv.RegisterStream("API.Watch", WatchArgs{}, a.handleWatch)
 	addr, err := srv.Listen()
@@ -177,6 +191,12 @@ func (a *apiReplica) handleSubmit(_ context.Context, arg any) (any, error) {
 		}
 		return nil, fmt.Errorf("core: persist job: %w", err)
 	}
+	// Open the job's trace before the bus announcement: transitions
+	// racing in behind the publish must find the root span in place.
+	// The timestamps reuse the history[0] clock read, so the trace and
+	// the durable history agree exactly.
+	a.p.Tracer.Begin(jobID, now)
+	a.p.Tracer.Phase(jobID, string(status), now)
 	// Announce the new job on the status bus: the tenant dispatcher (for
 	// QUEUED), the LCM recovery loop (for PENDING) and any WatchStatus
 	// subscriber wake immediately.
@@ -276,6 +296,61 @@ func (a *apiReplica) handleList(_ context.Context, arg any) (any, error) {
 		reply.Jobs = append(reply.Jobs, docToRecord(d))
 	}
 	return reply, nil
+}
+
+// handleMetrics returns one consistent snapshot of the platform's
+// metrics registry — counters, gauges, latency histograms and the
+// collector-mirrored subsystem stats. This is the RPC behind
+// GET /v1/metrics and `ffdl-cli metrics`.
+func (a *apiReplica) handleMetrics(_ context.Context, _ any) (any, error) {
+	return MetricsReply{Snapshot: a.p.Obs.Snapshot()}, nil
+}
+
+// handleTrace returns a job's span tree. The live tracer is preferred —
+// it carries sub-spans (etcd proposes, the LCM deploy) — but when the
+// tracer missed the job (bounded retention evicted it, the platform
+// runs DisableObs, or the job was submitted by another process) the
+// tree is reconstructed from the job's durable status history, which
+// carries the same lifecycle phases at the same timestamps.
+func (a *apiReplica) handleTrace(_ context.Context, arg any) (any, error) {
+	req := arg.(JobArgs)
+	if t, ok := a.p.Tracer.Trace(req.JobID); ok {
+		return TraceReply{Trace: t}, nil
+	}
+	rec, err := a.jobRecord(req.JobID)
+	if err != nil {
+		return nil, err
+	}
+	return TraceReply{Trace: traceFromHistory(rec)}, nil
+}
+
+// traceFromHistory rebuilds a job's phase-level trace from its status
+// history: each history entry opens a phase child that closes when the
+// next entry lands, and a terminal status closes the root — so the root
+// duration still equals the submit→terminal wall time, matching what
+// the live tracer records. Sub-spans are lost; they exist only in the
+// tracer's memory.
+func traceFromHistory(rec JobRecord) obs.Trace {
+	t := obs.Trace{JobID: rec.ID}
+	if len(rec.History) == 0 {
+		return t
+	}
+	root := &obs.Span{Name: "job", Start: rec.History[0].Time}
+	for i, h := range rec.History {
+		sp := &obs.Span{Name: string(h.Status), Start: h.Time}
+		if i+1 < len(rec.History) {
+			sp.End = rec.History[i+1].Time
+		} else if h.Status.Terminal() {
+			sp.End = h.Time
+		}
+		root.Children = append(root.Children, sp)
+	}
+	last := rec.History[len(rec.History)-1]
+	if last.Status.Terminal() {
+		root.End = last.Time
+	}
+	t.Root = root
+	return t
 }
 
 // control routes HALT/RESUME/TERMINATE through the LCM.
@@ -557,6 +632,24 @@ func (c *Client) Quota(ctx context.Context, user string) (tenant.Record, int, er
 // behalf of a newly in-quota queued job.
 func (c *Client) SetQuota(ctx context.Context, rec tenant.Record) error {
 	return c.api.Call(ctx, "API.SetQuota", SetTenantArgs{Tenant: rec}, nil)
+}
+
+// Metrics fetches one consistent snapshot of the platform's metrics
+// registry. Render it with Snapshot.Prom() for Prometheus text
+// exposition, or inspect it programmatically.
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	var reply MetricsReply
+	err := c.api.Call(ctx, "API.Metrics", MetricsArgs{}, &reply)
+	return reply.Snapshot, err
+}
+
+// Trace fetches a job's span tree: the lifecycle phases as children of
+// one root span, with etcd-propose and LCM-deploy sub-spans when the
+// live tracer recorded the job.
+func (c *Client) Trace(ctx context.Context, jobID string) (obs.Trace, error) {
+	var reply TraceReply
+	err := c.api.Call(ctx, "API.Trace", JobArgs{JobID: jobID}, &reply)
+	return reply.Trace, err
 }
 
 // Tenants lists all tenant records.

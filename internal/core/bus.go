@@ -6,6 +6,8 @@ import (
 
 	"github.com/ffdl/ffdl/internal/commitlog"
 	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/obs"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // StatusEvent is one job status transition published on the platform's
@@ -65,12 +67,16 @@ type busSub struct {
 // newStatusBus opens the bus over the given replay-log store — a
 // MemStore for the simulation default, a FileStore under DataDir for a
 // durable platform, where the retained window (and therefore WatchStatus
-// replay-on-reconnect) survives a full process restart.
-func newStatusBus(store commitlog.SegmentStore, persist bool) (*statusBus, error) {
+// replay-on-reconnect) survives a full process restart. obsReg/clk wire
+// the commit log's append/compaction instrumentation (nil obsReg runs
+// the log uninstrumented).
+func newStatusBus(store commitlog.SegmentStore, persist bool, obsReg *obs.Registry, clk sim.Clock) (*statusBus, error) {
 	log, err := commitlog.Open(store, commitlog.Options{
 		SegmentRecords: 256,
 		Compact:        true,
 		MaxSegments:    8,
+		Obs:            obsReg,
+		Clock:          clk,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: open status log: %w", err)

@@ -644,7 +644,7 @@ func TestWatchStatusDeliversTransitionsInOrderUnderAPICrash(t *testing.T) {
 // newMemBus opens a status bus on a fresh MemStore for bus-only tests.
 func newMemBus(t *testing.T) *statusBus {
 	t.Helper()
-	b, err := newStatusBus(commitlog.NewMemStore(), false)
+	b, err := newStatusBus(commitlog.NewMemStore(), false, nil, nil)
 	if err != nil {
 		t.Fatalf("newStatusBus: %v", err)
 	}
@@ -966,7 +966,7 @@ func TestFollowLogsResumesAcrossAPICrash(t *testing.T) {
 // only lines at or past the requested offset, and offsets are assigned
 // contiguously at ingest.
 func TestLogsFromOffset(t *testing.T) {
-	m := NewMetricsService()
+	m := NewMetricsService(nil)
 	for i := 0; i < 10; i++ {
 		m.AppendLog(LogLine{JobID: "j", Learner: 1, Text: "line"})
 	}

@@ -41,7 +41,7 @@ func (p *Platform) runHelper(ctx *kube.PodContext) int {
 				JobID: jobID, Learner: -1, Time: p.clock.Now(),
 				Text: fmt.Sprintf("[load-data] dataset inaccessible: %v", err),
 			})
-			p.Etcd.Put(keyDone(jobID), []byte("3"), 0) //nolint:errcheck
+			p.tracedPut(jobID, keyDone(jobID), []byte("3")) //nolint:errcheck
 			<-ctx.Stop
 			return 137
 		}
@@ -69,7 +69,7 @@ func (p *Platform) runHelper(ctx *kube.PodContext) int {
 			if data, err := res.volume.ReadFile(statusPath); err == nil {
 				if s := string(data); s != lastStatus[ord] {
 					lastStatus[ord] = s
-					p.Etcd.Put(keyLearnerStatus(jobID, ord), data, 0) //nolint:errcheck
+					p.tracedPut(jobID, keyLearnerStatus(jobID, ord), data) //nolint:errcheck
 				}
 			}
 			exitPath := fmt.Sprintf("learners/%d/exit", ord)
@@ -78,7 +78,7 @@ func (p *Platform) runHelper(ctx *kube.PodContext) int {
 					code, convErr := strconv.Atoi(strings.TrimSpace(string(data)))
 					if convErr == nil {
 						exitSeen[ord] = code
-						p.Etcd.Put(keyLearnerExit(jobID, ord), data, 0) //nolint:errcheck
+						p.tracedPut(jobID, keyLearnerExit(jobID, ord), data) //nolint:errcheck
 					}
 				}
 			}
@@ -92,7 +92,7 @@ func (p *Platform) runHelper(ctx *kube.PodContext) int {
 			for _, code := range exitSeen {
 				if code != 0 {
 					p.storeResults(jobID, m)
-					p.Etcd.Put(keyDone(jobID), []byte(strconv.Itoa(code)), 0) //nolint:errcheck
+					p.tracedPut(jobID, keyDone(jobID), []byte(strconv.Itoa(code))) //nolint:errcheck
 					doneWritten = true
 					break
 				}
@@ -100,7 +100,7 @@ func (p *Platform) runHelper(ctx *kube.PodContext) int {
 			if !doneWritten && len(exitSeen) == m.Learners {
 				// store-results, then signal completion.
 				p.storeResults(jobID, m)
-				p.Etcd.Put(keyDone(jobID), []byte("0"), 0) //nolint:errcheck
+				p.tracedPut(jobID, keyDone(jobID), []byte("0")) //nolint:errcheck
 				doneWritten = true
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/ffdl/ffdl/internal/kube"
 	"github.com/ffdl/ffdl/internal/mongo"
@@ -72,6 +73,10 @@ func (l *lcmReplica) ensureGuardian(jobID string) error {
 	if _, exists := l.p.Kube.Store().Get(kube.KindJob, name); exists {
 		return nil // idempotent
 	}
+	var deployStart time.Time
+	if l.p.Tracer != nil {
+		deployStart = l.p.clock.Now()
+	}
 	l.p.Kube.Store().Put(kube.KindJob, name, &kube.Job{
 		Name:         name,
 		BackoffLimit: 20, // guardians are cheap; keep retrying
@@ -84,6 +89,9 @@ func (l *lcmReplica) ensureGuardian(jobID string) error {
 			Type:        PodTypeGuardian,
 		},
 	})
+	if l.p.Tracer != nil {
+		l.p.Tracer.Sub(jobID, "lcm.deploy", deployStart, l.p.clock.Now())
+	}
 	return nil
 }
 
@@ -99,7 +107,7 @@ func (l *lcmReplica) handleControl(verb string) rpc.Handler {
 		if status.Terminal() {
 			return nil, fmt.Errorf("core: job %s already %s", req.JobID, status)
 		}
-		_, err = l.p.Etcd.Put(keyControl(req.JobID), []byte(verb), 0)
+		_, err = l.p.tracedPut(req.JobID, keyControl(req.JobID), []byte(verb))
 		return nil, err
 	}
 }
@@ -119,7 +127,7 @@ func (l *lcmReplica) handleTerminate(_ context.Context, arg any) (any, error) {
 		// drops a canceled QUEUED job on the terminal bus event.)
 		return nil, l.p.setJobStatus(req.JobID, StatusCanceled, "terminated by user before deployment")
 	}
-	_, err = l.p.Etcd.Put(keyControl(req.JobID), []byte(controlTerminate), 0)
+	_, err = l.p.tracedPut(req.JobID, keyControl(req.JobID), []byte(controlTerminate))
 	return nil, err
 }
 

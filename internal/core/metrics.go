@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"github.com/ffdl/ffdl/internal/commitlog"
+	"github.com/ffdl/ffdl/internal/obs"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // LogLine is one collected learner log line. Offset is its position in
@@ -31,10 +33,20 @@ type LogLine struct {
 // (internal/commitlog), which is what makes log streams offset-
 // addressable and resumable rather than count-deduplicated.
 type MetricsService struct {
-	mu       sync.Mutex
-	logs     map[string]*commitlog.Log // jobID -> line log
-	counters map[string]int64
-	subs     map[string][]chan LogLine
+	mu   sync.Mutex
+	logs map[string]*commitlog.Log // jobID -> line log
+	// reg is the platform's unified metrics registry: the flat counter
+	// map the service historically kept now lives there as obs.Counter
+	// instruments under the dotted subsystem.name convention, so the
+	// same counters appear on the GET /v1/metrics scrape. Inc/Counter/
+	// Counters remain as thin views over it.
+	reg  *obs.Registry
+	subs map[string][]chan LogLine
+	// obs/clock wire hot-path instrumentation into each job's commit
+	// log as it opens (append latency, compaction counters); obs is nil
+	// when the platform runs the DisableObs ablation.
+	obs   *obs.Registry
+	clock sim.Clock
 	// dataDir/storeWrap are injected by NewPlatform when Config.DataDir
 	// is set: each job's log then lives in its own FileStore directory
 	// (<DataDir>/learner-logs/<jobID>), lines are encoded into record
@@ -44,12 +56,16 @@ type MetricsService struct {
 	storeWrap StoreWrapper
 }
 
-// NewMetricsService returns an empty service.
-func NewMetricsService() *MetricsService {
+// NewMetricsService returns an empty service whose counters live in
+// the given registry (a private registry is created when nil).
+func NewMetricsService(reg *obs.Registry) *MetricsService {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &MetricsService{
-		logs:     make(map[string]*commitlog.Log),
-		counters: make(map[string]int64),
-		subs:     make(map[string][]chan LogLine),
+		logs: make(map[string]*commitlog.Log),
+		reg:  reg,
+		subs: make(map[string][]chan LogLine),
 	}
 }
 
@@ -64,7 +80,11 @@ func (m *MetricsService) jobLogLocked(jobID string) (*commitlog.Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := commitlog.Open(store, commitlog.Options{SegmentRecords: 1024})
+	l, err := commitlog.Open(store, commitlog.Options{
+		SegmentRecords: 1024,
+		Obs:            m.obs,
+		Clock:          m.clock,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: open job log %s: %w", jobID, err)
 	}
@@ -96,8 +116,8 @@ func (m *MetricsService) AppendLog(line LogLine) {
 	m.mu.Lock()
 	l, err := m.jobLogLocked(line.JobID)
 	if err != nil {
-		m.counters["metrics.log_open_errors"]++
 		m.mu.Unlock()
+		m.reg.Counter("metrics.log_open_errors").Inc()
 		return
 	}
 	// Mint the offset up front so the stored value carries it (m.mu
@@ -227,26 +247,19 @@ func (m *MetricsService) StreamLogs(jobID string) (<-chan LogLine, func()) {
 }
 
 // Inc bumps a named counter ("api.restarts", "guardian.rollbacks", ...).
+// Names follow the dotted subsystem.name convention (see internal/obs).
 func (m *MetricsService) Inc(counter string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.counters[counter]++
+	m.reg.Counter(counter).Inc()
 }
 
 // Counter reads a named counter.
 func (m *MetricsService) Counter(counter string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[counter]
+	return m.reg.CounterValue(counter)
 }
 
-// Counters returns a snapshot of all counters.
+// Counters returns one consistent snapshot of every counter in the
+// registry — the read path experiments use instead of torn per-name
+// Counter calls.
 func (m *MetricsService) Counters() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.counters))
-	for k, v := range m.counters {
-		out[k] = v
-	}
-	return out
+	return m.reg.CounterValues()
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/ffdl/ffdl/internal/mongo"
 	"github.com/ffdl/ffdl/internal/nfs"
 	"github.com/ffdl/ffdl/internal/objstore"
+	"github.com/ffdl/ffdl/internal/obs"
 	"github.com/ffdl/ffdl/internal/rpc"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
@@ -124,6 +125,16 @@ type Config struct {
 	// FaultStore crash/corruption under the real file layout. Leave nil
 	// in production configs.
 	StoreWrapper StoreWrapper
+
+	// DisableObs strips the observability layer's hot-path cost — the
+	// ablation arm of expt.ObsOverhead. Subsystems are built with nil
+	// instrument handles (every histogram observation and trace span
+	// becomes a no-op; see internal/obs's cost model) and no per-job
+	// tracer is kept. The metrics registry itself survives: platform
+	// health counters (MetricsService.Inc) and the snapshot-time stats
+	// collectors are product behavior and cost nothing between scrapes,
+	// so GET /v1/metrics keeps working either way. Leave false.
+	DisableObs bool
 }
 
 func (c *Config) defaults() {
@@ -216,6 +227,14 @@ type Platform struct {
 	NFS     *nfs.Provisioner
 	Metrics *MetricsService
 
+	// Obs is the unified metrics registry (internal/obs): every
+	// subsystem's instruments, the MetricsService counters, and the
+	// snapshot-time stats collectors all live here. Always non-nil.
+	// Tracer records per-job lifecycle span trees (nil when
+	// Config.DisableObs strips the layer).
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+
 	Registry *rpc.Registry
 
 	// Tenants and Dispatcher are the multi-tenant subsystem (nil unless
@@ -249,6 +268,18 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	cfg.defaults()
 	rng := sim.NewRNG(cfg.Seed)
 
+	// One registry for everything; instruments is the handle subsystems
+	// derive their hot-path instruments from and is nil under the
+	// DisableObs ablation (nil handles are free no-ops).
+	registry := obs.NewRegistry()
+	instruments := registry
+	var tracer *obs.Tracer
+	if cfg.DisableObs {
+		instruments = nil
+	} else {
+		tracer = obs.NewTracer(0)
+	}
+
 	etcdCluster, err := etcd.NewCluster(etcd.Options{
 		Replicas: cfg.EtcdReplicas,
 		Clock:    cfg.Clock,
@@ -259,6 +290,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		WatchHealthInterval: cfg.PollInterval * 4,
 		UnbatchedAblation:   cfg.EtcdUnbatched,
 		GobCodec:            cfg.EtcdGobCodec,
+		Obs:                 instruments,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: boot etcd: %w", err)
@@ -268,7 +300,11 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := mongo.Open(oplogStore, mongo.Options{Persist: cfg.DataDir != ""})
+	db, err := mongo.Open(oplogStore, mongo.Options{
+		Persist: cfg.DataDir != "",
+		Obs:     instruments,
+		Clock:   cfg.Clock,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: open metadata store: %w", err)
 	}
@@ -291,14 +327,16 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	bus, err := newStatusBus(busStore, cfg.DataDir != "")
+	bus, err := newStatusBus(busStore, cfg.DataDir != "", instruments, cfg.Clock)
 	if err != nil {
 		return nil, err
 	}
 
-	metrics := NewMetricsService()
+	metrics := NewMetricsService(registry)
 	metrics.dataDir = cfg.DataDir
 	metrics.storeWrap = cfg.StoreWrapper
+	metrics.obs = instruments
+	metrics.clock = cfg.Clock
 
 	store := objstore.New(objstore.Config{Clock: cfg.Clock, AggregateBandwidth: cfg.StorageBandwidth})
 	prov := nfs.NewProvisioner(cfg.Clock, rng.Stream(2))
@@ -325,6 +363,8 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		ResyncInterval:    cfg.ResyncInterval,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		NodeGracePeriod:   cfg.NodeGracePeriod,
+		Obs:               instruments,
+		Tracer:            tracer,
 	})
 
 	p := &Platform{
@@ -338,12 +378,16 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		Store:     store,
 		NFS:       prov,
 		Metrics:   metrics,
+		Obs:       registry,
+		Tracer:    tracer,
 		Registry:  rpc.NewRegistry(),
 		bus:       bus,
 		resources: make(map[string]*jobResources),
 		jobSeq:    jobSeq,
 		stopCh:    make(chan struct{}),
 	}
+	p.Registry.SetObs(instruments, cfg.Clock)
+	registry.RegisterCollector(p.collectStats)
 	p.registerRuntimes()
 
 	// The status bus's multi-replica fallback: tail the jobs collection's
@@ -478,6 +522,66 @@ func (p *Platform) Stop() {
 	p.Kube.Stop()
 	p.Etcd.Stop()
 	p.wg.Wait()
+}
+
+// collectStats mirrors every subsystem's Stats() accessors into the
+// registry as snapshot-time gauges under the dotted naming convention.
+// The accessors remain the programmatic views; this collector is what
+// puts the same numbers on the GET /v1/metrics scrape with zero
+// hot-path cost (it runs only when a snapshot is taken).
+func (p *Platform) collectStats(set func(name string, v int64)) {
+	ss := p.Kube.SchedStats()
+	set("sched.passes", int64(ss.Passes))
+	set("sched.full_scans", int64(ss.FullScans))
+	set("sched.nodes_examined", int64(ss.NodesExamined))
+	set("sched.pods_bound", int64(ss.PodsBound))
+	set("sched.events_seen", int64(ss.EventsSeen))
+	set("sched.events_ignored", int64(ss.EventsIgnored))
+	set("sched.events_dropped", int64(ss.EventsDropped))
+	set("sched.resyncs_skipped", int64(ss.ResyncsSkipped))
+	set("sched.audits_clean", int64(ss.AuditsClean))
+	set("sched.spread_full_scans", int64(ss.SpreadFullScans))
+
+	es := p.Etcd.Stats()
+	set("etcd.commands", int64(es.Commands))
+	set("etcd.entries", int64(es.Entries))
+	set("etcd.max_batch", int64(es.MaxBatch))
+	set("etcd.appends_sent", int64(es.AppendsSent))
+	set("etcd.entries_sent", int64(es.EntriesSent))
+
+	alloc, capacity := p.Kube.GPUUtilization()
+	set("kube.gpus_allocated", int64(alloc))
+	set("kube.gpus_capacity", int64(capacity))
+
+	bytesIn, bytesOut := p.Store.Stats()
+	set("objstore.bytes_in", bytesIn)
+	set("objstore.bytes_out", bytesOut)
+
+	if d := p.Dispatcher; d != nil {
+		ds := d.Stats()
+		set("tenant.wakes", int64(ds.Wakes))
+		set("tenant.passes", int64(ds.Passes))
+		set("tenant.dispatched", int64(ds.Dispatched))
+		set("tenant.resumed", int64(ds.Resumed))
+		set("tenant.preempted", int64(ds.Preempted))
+		set("tenant.requeued", int64(ds.Requeued))
+		set("tenant.quota_events", int64(ds.QuotaEvents))
+		set("tenant.resyncs", int64(ds.Resyncs))
+		set("tenant.failed", int64(ds.Failed))
+		set("tenant.queue_depth", int64(d.QueueDepth()))
+	}
+}
+
+// tracedPut writes a job-scoped etcd key, recording an etcd.propose
+// sub-span on the job's trace under its current lifecycle phase.
+func (p *Platform) tracedPut(jobID, key string, val []byte) (uint64, error) {
+	if p.Tracer == nil {
+		return p.Etcd.Put(key, val, 0)
+	}
+	start := p.clock.Now()
+	rev, err := p.Etcd.Put(key, val, 0)
+	p.Tracer.Sub(jobID, "etcd.propose", start, p.clock.Now())
+	return rev, err
 }
 
 // etcd key helpers.

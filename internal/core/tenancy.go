@@ -7,6 +7,7 @@ import (
 
 	"github.com/ffdl/ffdl/internal/kube"
 	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/obs"
 	"github.com/ffdl/ffdl/internal/rpc"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/tenant"
@@ -36,6 +37,10 @@ func (p *Platform) startTenancy(tc *TenancyConfig) error {
 	if resync <= 0 {
 		resync = p.cfg.PollInterval * 10
 	}
+	var instruments *obs.Registry
+	if !p.cfg.DisableObs {
+		instruments = p.Obs
+	}
 	p.Dispatcher = tenant.NewDispatcher(tenant.Config{
 		Clock:             p.clock,
 		Backend:           &tenantBackend{p: p, lcm: rpc.NewBalancer(p.Registry, ServiceLCM)},
@@ -43,6 +48,7 @@ func (p *Platform) startTenancy(tc *TenancyConfig) error {
 		Admission:         p.Admission,
 		ResyncInterval:    resync,
 		DisablePreemption: tc.DisablePreemption,
+		Obs:               instruments,
 	})
 
 	// Cluster capacity pump: the admission budget tracks total GPU

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ffdl/ffdl/internal/obs"
 	"github.com/ffdl/ffdl/internal/sim"
 )
 
@@ -67,6 +68,11 @@ type Options struct {
 	// gob regardless: they are cold-path and their schema already
 	// self-describes.
 	GobCodec bool
+	// Obs, when non-nil, wires the cluster into the platform's metrics
+	// registry: propose→apply latency ("etcd.propose_apply") and
+	// commands-per-entry batch sizes ("etcd.batch_size"). Nil leaves the
+	// hot paths uninstrumented at zero cost.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -140,6 +146,11 @@ type Cluster struct {
 	statEntries  atomic.Uint64 // Raft entries proposed (batch envelopes)
 	statMaxBatch atomic.Uint64 // largest commands-per-entry batch seen
 
+	// Registry instrument handles, derived once at NewCluster; nil when
+	// Options.Obs is nil (nil instruments no-op for free).
+	obsPropose *obs.Histogram // propose→apply latency per client command
+	obsBatch   *obs.Histogram // commands per Raft entry at flush
+
 	stopCh  chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
@@ -169,6 +180,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 		leaderSig: make(chan struct{}),
 		leaseCh:   make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
+	}
+	if opts.Obs != nil {
+		c.obsPropose = opts.Obs.Histogram("etcd.propose_apply")
+		c.obsBatch = opts.Obs.HistogramWith("etcd.batch_size", obs.CountBuckets)
 	}
 	peers := make([]int, opts.Replicas)
 	for i := range peers {
@@ -413,6 +428,7 @@ func (c *Cluster) batchLoop() {
 // command itself for a batch of one, a batch envelope otherwise — and
 // proposes it to the leader.
 func (c *Cluster) flush(q []*command) {
+	c.obsBatch.Observe(float64(len(q)))
 	for n := uint64(len(q)); ; {
 		cur := c.statMaxBatch.Load()
 		if n <= cur || c.statMaxBatch.CompareAndSwap(cur, n) {
@@ -545,6 +561,10 @@ func (c *Cluster) propose(cmd *command) (result, error) {
 	}
 	cmd.ReqID = c.reqSeq.Add(1)
 	c.statCommands.Add(1)
+	if c.obsPropose != nil {
+		start := c.opts.Clock.Now()
+		defer func() { c.obsPropose.ObserveDuration(c.opts.Clock.Now().Sub(start)) }()
+	}
 	ch := make(chan result, 1)
 	c.mu.Lock()
 	c.waiters[cmd.ReqID] = ch

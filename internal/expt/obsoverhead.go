@@ -1,0 +1,168 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ffdl/ffdl/internal/obs"
+)
+
+// The observability-overhead experiment: proof that the unified metrics
+// registry and per-job tracer are free when idle and near-free when
+// hot. It runs the end-to-end throughput stage (submissions dispatched
+// per wall second through the full platform) in interleaved pairs —
+// one arm fully instrumented, one with Config.DisableObs stripping
+// every hot-path instrument and the tracer — and gates the median
+// throughput ratio at a configured tolerance. Pairs are interleaved
+// (instrumented, ablation, instrumented, ablation, ...) so machine
+// noise drifts across both arms equally, and the median ratio discards
+// outlier pairs entirely.
+
+// ObsOverheadConfig parameterizes one gate run.
+type ObsOverheadConfig struct {
+	// Submitters is the per-arm submitter concurrency. Default 16.
+	Submitters int
+	// Jobs is the per-arm submission count. Default 2×Submitters.
+	Jobs int
+	// Pairs is how many instrumented/ablation pairs to run; the gate
+	// uses the median pairwise ratio. Default 3.
+	Pairs int
+	// TolerancePct is the maximum accepted throughput loss, in percent.
+	// Default 5 (the CI gate).
+	TolerancePct float64
+	// Seed drives platform randomness (both arms share it).
+	Seed int64
+	// SettleWall is the FakeClock auto-advance quiescence window.
+	SettleWall time.Duration
+	// Timeout bounds each arm's end-to-end stage in wall time.
+	Timeout time.Duration
+}
+
+func (c *ObsOverheadConfig) defaults() {
+	if c.Submitters <= 0 {
+		c.Submitters = 16
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 2 * c.Submitters
+	}
+	if c.Pairs <= 0 {
+		c.Pairs = 3
+	}
+	if c.TolerancePct <= 0 {
+		c.TolerancePct = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ObsOverheadPair is one interleaved instrumented/ablation pair.
+type ObsOverheadPair struct {
+	InstrumentedPerSec float64 `json:"instrumented_per_sec"`
+	AblationPerSec     float64 `json:"ablation_per_sec"`
+	// Ratio is instrumented/ablation throughput: 1.0 = free, <1 = the
+	// instrumented arm paid something.
+	Ratio float64 `json:"ratio"`
+}
+
+// ObsOverheadResult reports the gate.
+type ObsOverheadResult struct {
+	Submitters   int               `json:"submitters"`
+	Jobs         int               `json:"jobs"`
+	Pairs        []ObsOverheadPair `json:"pairs"`
+	MedianRatio  float64           `json:"median_ratio"`
+	OverheadPct  float64           `json:"overhead_pct"`
+	TolerancePct float64           `json:"tolerance_pct"`
+	WithinBudget bool              `json:"within_budget"`
+	// Sanity counters from the instrumented arm's final snapshot: the
+	// comparison is vacuous if the instruments recorded nothing.
+	HistogramObservations uint64  `json:"histogram_observations"`
+	CounterNames          int     `json:"counter_names"`
+	WallSeconds           float64 `json:"wall_seconds"`
+}
+
+// ObsOverhead runs the gate once.
+func ObsOverhead(cfg ObsOverheadConfig) (ObsOverheadResult, error) {
+	cfg.defaults()
+	res := ObsOverheadResult{
+		Submitters:   cfg.Submitters,
+		Jobs:         cfg.Jobs,
+		TolerancePct: cfg.TolerancePct,
+	}
+	wallStart := time.Now()
+	var lastSnap obs.Snapshot
+	arm := func(disable bool, seedOffset int64) (float64, error) {
+		tc := ThroughputConfig{
+			Submitters: cfg.Submitters,
+			Jobs:       cfg.Jobs,
+			Seed:       cfg.Seed + seedOffset,
+			SettleWall: cfg.SettleWall,
+			Timeout:    cfg.Timeout,
+			DisableObs: disable,
+		}
+		if !disable {
+			tc.snapshotSink = func(s obs.Snapshot) { lastSnap = s }
+		}
+		tc.defaults()
+		var tr ThroughputResult
+		if err := throughputE2E(tc, &tr); err != nil {
+			return 0, err
+		}
+		return tr.DispatchedPerSec, nil
+	}
+	for i := 0; i < cfg.Pairs; i++ {
+		inst, err := arm(false, int64(i))
+		if err != nil {
+			return res, fmt.Errorf("expt: obs-overhead instrumented arm %d: %w", i, err)
+		}
+		abl, err := arm(true, int64(i))
+		if err != nil {
+			return res, fmt.Errorf("expt: obs-overhead ablation arm %d: %w", i, err)
+		}
+		pair := ObsOverheadPair{InstrumentedPerSec: inst, AblationPerSec: abl}
+		if abl > 0 {
+			pair.Ratio = inst / abl
+		}
+		res.Pairs = append(res.Pairs, pair)
+	}
+	ratios := make([]float64, 0, len(res.Pairs))
+	for _, p := range res.Pairs {
+		ratios = append(ratios, p.Ratio)
+	}
+	sort.Float64s(ratios)
+	res.MedianRatio = ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		res.MedianRatio = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	res.OverheadPct = (1 - res.MedianRatio) * 100
+	res.WithinBudget = res.OverheadPct <= cfg.TolerancePct
+	for _, h := range lastSnap.Histograms {
+		res.HistogramObservations += h.Count
+	}
+	res.CounterNames = len(lastSnap.Counters)
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	return res, nil
+}
+
+// RenderObsOverhead formats the gate result as a table.
+func RenderObsOverhead(r ObsOverheadResult) *Table {
+	t := &Table{
+		Title:  "Observability overhead: instrumented vs DisableObs ablation (end-to-end dispatch throughput)",
+		Header: []string{"Pair", "Instrumented/s", "Ablation/s", "Ratio"},
+	}
+	for i, p := range r.Pairs {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1), f2(p.InstrumentedPerSec), f2(p.AblationPerSec), f2(p.Ratio),
+		})
+	}
+	verdict := "WITHIN BUDGET"
+	if !r.WithinBudget {
+		verdict = "OVER BUDGET"
+	}
+	t.Caption = fmt.Sprintf(
+		"Median ratio %.3f → %.2f%% overhead (tolerance %.0f%%): %s. Instrumented arm recorded %d histogram observations across %d counters.",
+		r.MedianRatio, r.OverheadPct, r.TolerancePct, verdict,
+		r.HistogramObservations, r.CounterNames)
+	return t
+}

@@ -264,8 +264,11 @@ func recoveryArm(cfg RecoveryConfig, fileStore bool) (RecoveryArm, error) {
 		}
 		stop()
 	}
-	arm.WatchReplays = p2.Metrics.Counter("watch.replays")
-	arm.WatchRefills = p2.Metrics.Counter("watch.refills")
+	// One consistent registry snapshot instead of torn per-name reads:
+	// both counters reflect the same instant.
+	counters := p2.Metrics.Counters()
+	arm.WatchReplays = counters["watch.replays"]
+	arm.WatchRefills = counters["watch.refills"]
 
 	arm.WallSeconds = time.Since(wallStart).Seconds()
 	return arm, nil

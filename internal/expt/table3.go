@@ -151,10 +151,13 @@ func Table3(trials int) ([]Table3Row, error) {
 	}
 
 	var rows []Table3Row
+	// Restart detection reads counters through one registry snapshot per
+	// poll (Counters()), not per-name Counter calls, so a probe that ever
+	// compares two counters sees one consistent instant.
 	apiRow, err := measure("API", func() func() bool {
-		before := p.Metrics.Counter("api.restarts")
+		before := p.Metrics.Counters()["api.restarts"]
 		p.CrashAPI(0)
-		return func() bool { return p.Metrics.Counter("api.restarts") > before }
+		return func() bool { return p.Metrics.Counters()["api.restarts"] > before }
 	})
 	if err != nil {
 		return nil, err
@@ -162,9 +165,9 @@ func Table3(trials int) ([]Table3Row, error) {
 	rows = append(rows, apiRow)
 
 	lcmRow, err := measure("LCM", func() func() bool {
-		before := p.Metrics.Counter("lcm.restarts")
+		before := p.Metrics.Counters()["lcm.restarts"]
 		p.CrashLCM(1)
-		return func() bool { return p.Metrics.Counter("lcm.restarts") > before }
+		return func() bool { return p.Metrics.Counters()["lcm.restarts"] > before }
 	})
 	if err != nil {
 		return nil, err

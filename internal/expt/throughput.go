@@ -10,6 +10,7 @@ import (
 	"github.com/ffdl/ffdl/internal/core"
 	"github.com/ffdl/ffdl/internal/etcd"
 	"github.com/ffdl/ffdl/internal/mongo"
+	"github.com/ffdl/ffdl/internal/obs"
 	"github.com/ffdl/ffdl/internal/perf"
 	"github.com/ffdl/ffdl/internal/sim"
 )
@@ -61,6 +62,14 @@ type ThroughputConfig struct {
 	// (the seed codec) instead of the hand-rolled binary codec. The two
 	// ablations compose; the seed-faithful arm is Unbatched+GobCodec.
 	GobCodec bool
+	// DisableObs runs the platform with hot-path instrumentation and
+	// per-job tracing stripped — the observability ablation arm the
+	// ObsOverhead experiment compares against.
+	DisableObs bool
+	// snapshotSink, when set, receives the platform's metrics snapshot
+	// after the end-to-end stage (the ObsOverhead experiment's sanity
+	// check that instruments actually recorded work).
+	snapshotSink func(obs.Snapshot)
 	// Seed drives platform randomness.
 	Seed int64
 	// SettleWall is the FakeClock auto-advance quiescence window.
@@ -185,6 +194,7 @@ func throughputE2E(cfg ThroughputConfig, res *ThroughputResult) error {
 		StartDelay:    func(string) time.Duration { return 0 },
 		EtcdUnbatched: cfg.Unbatched,
 		EtcdGobCodec:  cfg.GobCodec,
+		DisableObs:    cfg.DisableObs,
 	})
 	if err != nil {
 		return err
@@ -279,6 +289,9 @@ func throughputE2E(cfg ThroughputConfig, res *ThroughputResult) error {
 	}
 	if st := p.Etcd.Stats(); st.Entries > 0 {
 		res.E2ECmdsPerEntry = float64(st.Commands) / float64(st.Entries)
+	}
+	if cfg.snapshotSink != nil {
+		cfg.snapshotSink(p.Obs.Snapshot())
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ffdl/ffdl/internal/obs"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
 )
@@ -55,6 +56,15 @@ type Config struct {
 	// (image pull + volume bind + container create). The Table 3
 	// experiment configures the paper's observed values. Default: 1ms.
 	StartDelay func(podType string) time.Duration
+	// Obs, when non-nil, wires the control loops into the platform's
+	// metrics registry: scheduling pass duration ("sched.pass"), nodes
+	// examined per pass ("sched.pass_nodes") and controller reconcile
+	// latency ("kube.reconcile"). Nil leaves the loops uninstrumented
+	// at zero cost.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records a "sched.bind" event on the owning
+	// job's trace as each pod binds.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) defaults() {
@@ -113,6 +123,12 @@ type Cluster struct {
 	// schedStats is the scheduler loop's published work counters.
 	schedMu    sync.Mutex
 	schedStats SchedStats
+
+	// Registry instrument handles, derived once at NewCluster; all nil
+	// when Config.Obs is nil (nil instruments no-op for free).
+	obsPass      *obs.Histogram // scheduling pass duration
+	obsPassNodes *obs.Histogram // nodes examined per pass
+	obsReconcile *obs.Histogram // controller reconcile latency
 }
 
 // NewCluster boots an orchestrator with no nodes.
@@ -125,6 +141,11 @@ func NewCluster(cfg Config) *Cluster {
 		kubelets: make(map[string]*kubelet),
 		podStops: make(map[uint64]*podStop),
 		stopCh:   make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		c.obsPass = cfg.Obs.Histogram("sched.pass")
+		c.obsPassNodes = cfg.Obs.HistogramWith("sched.pass_nodes", obs.CountBuckets)
+		c.obsReconcile = cfg.Obs.Histogram("kube.reconcile")
 	}
 	// Subscribe every control loop's watch before any loop goroutine
 	// starts: a store write made right after NewCluster returns is then

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/ffdl/ffdl/internal/sim"
 )
@@ -41,10 +42,17 @@ func (c *Cluster) controllerLoop(watch *StoreWatch) {
 		if watch.TakeDropped() > 0 {
 			full = true
 		}
+		var recStart time.Time
+		if c.obsReconcile != nil && (full || len(dirty) > 0) {
+			recStart = c.cfg.Clock.Now()
+		}
 		if full {
 			c.reconcileAll()
 		} else if len(dirty) > 0 {
 			c.reconcileDirty(dirty)
+		}
+		if !recStart.IsZero() {
+			c.obsReconcile.ObserveDuration(c.cfg.Clock.Now().Sub(recStart))
 		}
 	}
 }

@@ -3,6 +3,7 @@ package kube
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
@@ -339,6 +340,10 @@ func (s *schedCore) freedHelps() bool {
 // runPass evaluates every pending pod against the live view.
 func (s *schedCore) runPass() {
 	s.stats.Passes++
+	var passStart time.Time
+	if s.c.obsPass != nil {
+		passStart = s.c.cfg.Clock.Now()
+	}
 	pending := make([]*Pod, 0, len(s.pending))
 	for _, p := range s.pending {
 		pending = append(pending, p)
@@ -360,7 +365,12 @@ func (s *schedCore) runPass() {
 		}
 		s.waitingTypes[p.Spec.GPUType] = struct{}{}
 	}
-	s.stats.NodesExamined += s.state.TakeExamined()
+	examined := s.state.TakeExamined()
+	s.stats.NodesExamined += examined
+	if s.c.obsPass != nil {
+		s.c.obsPass.ObserveDuration(s.c.cfg.Clock.Now().Sub(passStart))
+		s.c.obsPassNodes.Observe(float64(examined))
+	}
 }
 
 // resyncTick is the conditional safety net: it rebuilds the view only
@@ -517,6 +527,9 @@ func (s *schedCore) bind(p *Pod, nodeName string) {
 	delete(s.pending, p.Name)
 	s.charge(p, nodeName)
 	s.stats.PodsBound++
+	if s.c.cfg.Tracer != nil && p.Spec.JobID != "" {
+		s.c.cfg.Tracer.Event(p.Spec.JobID, "sched.bind "+p.Name, s.c.cfg.Clock.Now())
+	}
 }
 
 func toSchedPod(p *Pod) *sched.PodSpec {

@@ -14,8 +14,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/ffdl/ffdl/internal/commitlog"
+	"github.com/ffdl/ffdl/internal/obs"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // Doc is a BSON-like document. Values should be gob-friendly primitives,
@@ -565,6 +568,7 @@ func (c *Collection) indexRemoveLocked(d Doc, id string) {
 // caller-owned memory, or later caller mutations would corrupt the
 // copy-on-write views reads hand out.
 func (c *Collection) Insert(d Doc) (string, error) {
+	defer c.db.opEnd(c.db.opStart())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	stored := d.DeepClone()
@@ -641,6 +645,7 @@ type FindOpts struct {
 // and a Limit never materializes the losers; only the surviving window
 // is cloned.
 func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
+	defer c.db.opEnd(c.db.opStart())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	ids := c.candidatesLocked(f)
@@ -712,6 +717,7 @@ func (c *Collection) UpdateMany(f Filter, u Update) (int, error) {
 }
 
 func (c *Collection) update(f Filter, u Update, limit int) (int, error) {
+	defer c.db.opEnd(c.db.opStart())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ids := c.candidatesLocked(f)
@@ -768,6 +774,7 @@ func (c *Collection) DeleteMany(f Filter) int {
 }
 
 func (c *Collection) delete(f Filter, limit int) int {
+	defer c.db.opEnd(c.db.opStart())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ids := c.candidatesLocked(f)
@@ -829,6 +836,10 @@ type DB struct {
 	// FileStore-backed databases, off for the MemStore default where ops
 	// ride the in-memory record Value.
 	persist bool
+	// obsOp/clock time every collection operation into the platform's
+	// "mongo.op_latency" histogram; both nil on an uninstrumented DB.
+	obsOp *obs.Histogram
+	clock sim.Clock
 }
 
 // Options configures Open.
@@ -840,6 +851,30 @@ type Options struct {
 	// retained log on reopen. Set it when the store outlives the
 	// process (FileStore); leave it off for MemStore.
 	Persist bool
+	// Obs, when non-nil, times every collection operation into the
+	// "mongo.op_latency" histogram and instruments the oplog's commit
+	// log. Nil runs the database uninstrumented at zero cost.
+	Obs *obs.Registry
+	// Clock provides the timestamps for instrumented operations
+	// (defaults to the real clock when Obs is set and Clock is nil).
+	Clock sim.Clock
+}
+
+// opStart begins timing one instrumented collection operation; it
+// returns the zero time on an uninstrumented DB so the paired opEnd
+// no-ops. Use as `defer db.opEnd(db.opStart())`.
+func (db *DB) opStart() time.Time {
+	if db.obsOp == nil {
+		return time.Time{}
+	}
+	return db.clock.Now()
+}
+
+func (db *DB) opEnd(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	db.obsOp.ObserveDuration(db.clock.Now().Sub(start))
 }
 
 // oplogOptions bounds the retained oplog at ~64k entries (64 sealed
@@ -884,6 +919,8 @@ func Open(store commitlog.SegmentStore, opts Options) (*DB, error) {
 		// retention keeps recovery complete at any log length.
 		lopts.Compact = true
 	}
+	lopts.Obs = opts.Obs
+	lopts.Clock = opts.Clock
 	log, err := commitlog.Open(store, lopts)
 	if err != nil {
 		return nil, fmt.Errorf("mongo: open oplog: %w", err)
@@ -893,6 +930,13 @@ func Open(store commitlog.SegmentStore, opts Options) (*DB, error) {
 		oplog:   log,
 		subs:    make(map[int]chan op),
 		persist: opts.Persist,
+	}
+	if opts.Obs != nil {
+		db.obsOp = opts.Obs.Histogram("mongo.op_latency")
+		db.clock = opts.Clock
+		if db.clock == nil {
+			db.clock = sim.NewRealClock()
+		}
 	}
 	if next := log.NextOffset(); next > lopts.FirstOffset {
 		db.opSeq = next - 1

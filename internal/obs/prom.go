@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prom renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters as ffdl_<name>_total, gauges as
+// ffdl_<name>, histograms as the standard _bucket{le=...}/_sum/_count
+// triple with cumulative bucket counts. Dotted instrument names are
+// mangled mechanically (dots -> underscores) under the ffdl_ prefix,
+// and output is sorted by name, so the format is golden-testable.
+func (s Snapshot) Prom() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		n := promName(c.Name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+	}
+	return b.String()
+}
+
+// promName mangles a dotted instrument name into a legal Prometheus
+// metric name under the ffdl_ namespace.
+func promName(name string) string {
+	return "ffdl_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// promFloat formats a float the way Prometheus clients do: shortest
+// round-trip representation, no exponent for common magnitudes.
+func promFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span is one node of a job's trace tree. The root span covers the
+// job's whole lifetime (submit to terminal status); its children are
+// the lifecycle phases in causal order (QUEUED, PENDING, DEPLOYING,
+// ...), and phase children are sub-operations recorded while that
+// phase was current (lcm.deploy, etcd.propose, sched.bind). A span
+// with a zero End is still open; an Event span has End == Start.
+type Span struct {
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end,omitempty"`
+	Children []*Span   `json:"children,omitempty"`
+}
+
+// Duration is the span's wall time (0 while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Trace is one job's exported span tree.
+type Trace struct {
+	JobID string `json:"job_id"`
+	Root  *Span  `json:"root"`
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event). ts/dur
+// are microseconds; ts is relative to the trace root so the numbers
+// stay small and Perfetto lays the trace out from zero.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// ChromeTrace renders the trace in Chrome trace-event JSON (an array of
+// complete events), loadable in Perfetto / chrome://tracing. The job
+// lifecycle (root + phases) lands on tid 1, sub-operation spans on
+// tid 2.
+func (t Trace) ChromeTrace() ([]byte, error) {
+	if t.Root == nil {
+		return []byte("[]"), nil
+	}
+	origin := t.Root.Start
+	var events []chromeEvent
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		tid := 1
+		if depth >= 2 {
+			tid = 2
+		}
+		end := s.End
+		if end.IsZero() {
+			end = s.Start
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(origin).Nanoseconds()) / 1e3,
+			Dur:  float64(end.Sub(s.Start).Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+		})
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return json.Marshal(events)
+}
+
+// jobTrace is the tracer's mutable per-job state.
+type jobTrace struct {
+	root  *Span
+	phase *Span // currently open phase (child of root)
+	done  bool
+}
+
+// Tracer records per-job lifecycle traces. All methods are nil-receiver
+// safe no-ops, so a disabled platform calls them for free. Timestamps
+// are supplied by callers from their own sim.Clock — the tracer never
+// reads a clock — which keeps traces exact under sim.FakeClock and
+// guarantees the root span's duration equals the job's status-history
+// wall time (both are written from the same clock reads).
+//
+// Retention is bounded: once maxJobs traces are held, starting a new
+// one evicts the oldest.
+type Tracer struct {
+	mu      sync.Mutex
+	jobs    map[string]*jobTrace
+	order   []string
+	maxJobs int
+}
+
+// NewTracer returns a tracer retaining up to maxJobs job traces
+// (default 4096 when maxJobs <= 0).
+func NewTracer(maxJobs int) *Tracer {
+	if maxJobs <= 0 {
+		maxJobs = 4096
+	}
+	return &Tracer{jobs: make(map[string]*jobTrace), maxJobs: maxJobs}
+}
+
+// Begin starts a job's root span at the submit timestamp. A duplicate
+// Begin for a live job is ignored.
+func (t *Tracer) Begin(jobID string, at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.jobs[jobID]; ok {
+		return
+	}
+	for len(t.jobs) >= t.maxJobs && len(t.order) > 0 {
+		delete(t.jobs, t.order[0])
+		t.order = t.order[1:]
+	}
+	t.jobs[jobID] = &jobTrace{root: &Span{Name: "job " + jobID, Start: at}}
+	t.order = append(t.order, jobID)
+}
+
+// Phase closes the current phase (if any) and opens a new one as a
+// child of the root — one call per status transition. Unknown jobs are
+// ignored (transitions observed for jobs submitted before this tracer
+// existed, or already evicted).
+func (t *Tracer) Phase(jobID, name string, at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.jobs[jobID]
+	if !ok || jt.done {
+		return
+	}
+	if jt.phase != nil {
+		jt.phase.End = at
+	}
+	jt.phase = &Span{Name: name, Start: at}
+	jt.root.Children = append(jt.root.Children, jt.phase)
+}
+
+// Sub records a closed sub-operation span under the job's current
+// phase (or directly under the root before the first phase).
+func (t *Tracer) Sub(jobID, name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.jobs[jobID]
+	if !ok || jt.done {
+		return
+	}
+	parent := jt.root
+	if jt.phase != nil {
+		parent = jt.phase
+	}
+	parent.Children = append(parent.Children, &Span{Name: name, Start: start, End: end})
+}
+
+// Event records a zero-duration marker under the current phase.
+func (t *Tracer) Event(jobID, name string, at time.Time) {
+	t.Sub(jobID, name, at, at)
+}
+
+// Finish closes the job's trace at its terminal transition: the open
+// phase ends, a zero-length terminal phase named name is appended, and
+// the root span ends — so root.Duration() is exactly the submit→terminal
+// wall time recorded in the job's status history.
+func (t *Tracer) Finish(jobID, name string, at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.jobs[jobID]
+	if !ok || jt.done {
+		return
+	}
+	if jt.phase != nil {
+		jt.phase.End = at
+	}
+	jt.root.Children = append(jt.root.Children, &Span{Name: name, Start: at, End: at})
+	jt.root.End = at
+	jt.phase = nil
+	jt.done = true
+}
+
+// Trace exports a deep copy of a job's span tree.
+func (t *Tracer) Trace(jobID string) (Trace, bool) {
+	if t == nil {
+		return Trace{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.jobs[jobID]
+	if !ok {
+		return Trace{}, false
+	}
+	return Trace{JobID: jobID, Root: copySpan(jt.root)}, true
+}
+
+func copySpan(s *Span) *Span {
+	out := &Span{Name: s.Name, Start: s.Start, End: s.End}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, copySpan(c))
+	}
+	return out
+}

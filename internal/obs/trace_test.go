@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer(0)
+	t0 := time.Unix(100, 0)
+	tr.Begin("j1", t0)
+	tr.Phase("j1", "QUEUED", t0)
+	tr.Phase("j1", "PENDING", t0.Add(10*time.Millisecond))
+	tr.Sub("j1", "lcm.deploy", t0.Add(12*time.Millisecond), t0.Add(15*time.Millisecond))
+	tr.Phase("j1", "PROCESSING", t0.Add(20*time.Millisecond))
+	tr.Finish("j1", "COMPLETED", t0.Add(50*time.Millisecond))
+
+	trace, ok := tr.Trace("j1")
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	root := trace.Root
+	if root.Duration() != 50*time.Millisecond {
+		t.Fatalf("root duration = %v, want 50ms", root.Duration())
+	}
+	names := make([]string, 0, len(root.Children))
+	for _, c := range root.Children {
+		names = append(names, c.Name)
+	}
+	want := []string{"QUEUED", "PENDING", "PROCESSING", "COMPLETED"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("phases = %v, want %v", names, want)
+	}
+	// Causal order: each phase starts when its predecessor ends.
+	for i := 1; i < len(root.Children); i++ {
+		prev, cur := root.Children[i-1], root.Children[i]
+		if cur.Start.Before(prev.Start) {
+			t.Fatalf("phase %s starts before %s", cur.Name, prev.Name)
+		}
+		if !prev.End.Equal(cur.Start) {
+			t.Fatalf("phase %s ends at %v but %s starts at %v", prev.Name, prev.End, cur.Name, cur.Start)
+		}
+	}
+	// The deploy sub-span nests under PENDING.
+	pending := root.Children[1]
+	if len(pending.Children) != 1 || pending.Children[0].Name != "lcm.deploy" {
+		t.Fatalf("PENDING children = %+v, want one lcm.deploy span", pending.Children)
+	}
+	if d := pending.Children[0].Duration(); d != 3*time.Millisecond {
+		t.Fatalf("lcm.deploy duration = %v, want 3ms", d)
+	}
+	// Post-finish mutations are ignored.
+	tr.Phase("j1", "ZOMBIE", t0.Add(time.Hour))
+	trace2, _ := tr.Trace("j1")
+	if len(trace2.Root.Children) != 4 {
+		t.Fatal("finished trace accepted a new phase")
+	}
+}
+
+func TestTracerUnknownJobAndNil(t *testing.T) {
+	tr := NewTracer(0)
+	// Transitions for jobs the tracer never saw (another process's
+	// writes surfacing via the change feed) are dropped, not invented.
+	tr.Phase("ghost", "PENDING", time.Unix(0, 0))
+	tr.Finish("ghost", "COMPLETED", time.Unix(1, 0))
+	if _, ok := tr.Trace("ghost"); ok {
+		t.Fatal("unknown job must not materialize a trace")
+	}
+	var nilT *Tracer
+	nilT.Begin("x", time.Unix(0, 0))
+	nilT.Phase("x", "PENDING", time.Unix(0, 0))
+	nilT.Event("x", "sched.bind", time.Unix(0, 0))
+	nilT.Finish("x", "COMPLETED", time.Unix(0, 0))
+	if _, ok := nilT.Trace("x"); ok {
+		t.Fatal("nil tracer must report no traces")
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2)
+	t0 := time.Unix(0, 0)
+	tr.Begin("a", t0)
+	tr.Begin("b", t0)
+	tr.Begin("c", t0) // evicts a
+	if _, ok := tr.Trace("a"); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	if _, ok := tr.Trace("b"); !ok {
+		t.Fatal("trace b missing")
+	}
+	if _, ok := tr.Trace("c"); !ok {
+		t.Fatal("trace c missing")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr := NewTracer(0)
+	t0 := time.Unix(100, 0)
+	tr.Begin("j1", t0)
+	tr.Phase("j1", "PENDING", t0)
+	tr.Sub("j1", "etcd.propose", t0.Add(time.Millisecond), t0.Add(2*time.Millisecond))
+	tr.Finish("j1", "COMPLETED", t0.Add(10*time.Millisecond))
+	trace, _ := tr.Trace("j1")
+	raw, err := trace.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// root + PENDING + COMPLETED + sub-span
+	if len(events) != 4 {
+		t.Fatalf("chrome events = %d, want 4", len(events))
+	}
+	root := events[0]
+	if root["ph"] != "X" || root["ts"].(float64) != 0 || root["dur"].(float64) != 10000 {
+		t.Fatalf("root event = %v", root)
+	}
+	var sub map[string]any
+	for _, e := range events {
+		if e["name"] == "etcd.propose" {
+			sub = e
+		}
+	}
+	if sub == nil || sub["tid"].(float64) != 2 || sub["ts"].(float64) != 1000 || sub["dur"].(float64) != 1000 {
+		t.Fatalf("sub event = %v", sub)
+	}
+}

@@ -4,6 +4,10 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+
+	"github.com/ffdl/ffdl/internal/obs"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // Registry maps service names to the addresses of their live replicas,
@@ -13,6 +17,35 @@ import (
 type Registry struct {
 	mu       sync.RWMutex
 	services map[string][]string
+	// obs holds the derived instrument handles every Balancer built over
+	// this registry shares (atomic so SetObs can land after balancers
+	// exist). Nil pointer = uninstrumented.
+	obs atomic.Pointer[registryObs]
+}
+
+// registryObs bundles the RPC instrumentation one SetObs call derives.
+type registryObs struct {
+	roundtrip *obs.Histogram
+	calls     *obs.Counter
+	clock     sim.Clock
+}
+
+// SetObs wires every Balancer built over this registry into the metrics
+// registry: per-call roundtrip latency ("rpc.roundtrip") and a call
+// counter ("rpc.calls"). A nil reg is a no-op, leaving calls
+// uninstrumented at zero cost; a nil clk times with the real clock.
+func (r *Registry) SetObs(reg *obs.Registry, clk sim.Clock) {
+	if reg == nil {
+		return
+	}
+	if clk == nil {
+		clk = sim.NewRealClock()
+	}
+	r.obs.Store(&registryObs{
+		roundtrip: reg.Histogram("rpc.roundtrip"),
+		calls:     reg.Counter("rpc.calls"),
+		clock:     clk,
+	})
 }
 
 // NewRegistry returns an empty Registry.
@@ -128,6 +161,15 @@ func retryable(err error) bool {
 // Call performs a unary RPC against any live replica, failing over on
 // connection-level errors. Application errors are returned as-is.
 func (b *Balancer) Call(ctx context.Context, method string, arg, reply any) error {
+	if ro := b.registry.obs.Load(); ro != nil {
+		ro.calls.Inc()
+		start := ro.clock.Now()
+		defer func() { ro.roundtrip.ObserveDuration(ro.clock.Now().Sub(start)) }()
+	}
+	return b.call(ctx, method, arg, reply)
+}
+
+func (b *Balancer) call(ctx context.Context, method string, arg, reply any) error {
 	addrs := b.pick()
 	if len(addrs) == 0 {
 		return ErrNoEndpoints

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ffdl/ffdl/internal/obs"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
 )
@@ -114,6 +115,10 @@ type Config struct {
 	// DisablePreemption keeps starved in-quota requests waiting instead
 	// of checkpointing victims (ablation; production FfDL preempts).
 	DisablePreemption bool
+	// Obs, when non-nil, records each dispatch's queue delay into the
+	// "tenant.queue_delay" histogram. Nil leaves dispatch accounting
+	// uninstrumented at zero cost.
+	Obs *obs.Registry
 }
 
 // queuedEntry is the dispatcher's per-job queue state.
@@ -149,6 +154,10 @@ type Dispatcher struct {
 	victims map[string]Job
 	delays  []Delay
 	stats   Stats
+
+	// obsDelay is the registry queue-delay histogram; nil without
+	// Config.Obs.
+	obsDelay *obs.Histogram
 }
 
 // NewDispatcher builds a dispatcher; call Start to run it.
@@ -159,7 +168,7 @@ func NewDispatcher(cfg Config) *Dispatcher {
 	if cfg.ResyncInterval <= 0 {
 		cfg.ResyncInterval = 250 * time.Millisecond
 	}
-	return &Dispatcher{
+	d := &Dispatcher{
 		cfg:     cfg,
 		clock:   cfg.Clock,
 		adm:     cfg.Admission,
@@ -168,6 +177,10 @@ func NewDispatcher(cfg Config) *Dispatcher {
 		entries: make(map[string]*queuedEntry),
 		victims: make(map[string]Job),
 	}
+	if cfg.Obs != nil {
+		d.obsDelay = cfg.Obs.Histogram("tenant.queue_delay")
+	}
+	return d
 }
 
 // Start seeds quotas from the registry, recovers queued work from the
@@ -594,4 +607,5 @@ func (d *Dispatcher) recordDispatchLocked(e *queuedEntry, resumed bool) {
 		Queued:  queued,
 		Resumed: resumed,
 	})
+	d.obsDelay.ObserveDuration(queued)
 }
