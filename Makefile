@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race cover bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke commitlog-smoke recovery-smoke obs-smoke docs-check ci
+.PHONY: all fmt vet build test race cover bench-smoke fuzz-smoke sched-scale-smoke watch-churn-smoke tenant-smoke throughput-smoke commitlog-smoke recovery-smoke obs-smoke chaos-smoke docs-check ci
 
 all: build
 
@@ -26,11 +26,13 @@ test:
 # the scheduler/admission package it drives, the event substrate (every
 # subsystem appends to commit logs under concurrent readers), the core
 # platform that fans its events out, the durable stores layered on
-# the commit log (mongo oplog recovery, etcd watch history), and the
-# observability registry every hot path hammers concurrently.
+# the commit log (mongo oplog recovery, etcd watch history), the
+# observability registry every hot path hammers concurrently, and the
+# fault-injection + retry/breaker layers whose whole job is to mutate
+# shared state from injector goroutines.
 race:
-	$(GO) vet ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/... ./internal/obs/...
-	$(GO) test -race -short ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/... ./internal/obs/...
+	$(GO) vet ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/... ./internal/obs/... ./internal/chaos/... ./internal/resilience/...
+	$(GO) test -race -short ./internal/tenant/... ./internal/sched/... ./internal/commitlog/... ./internal/core/... ./internal/mongo/... ./internal/etcd/... ./internal/obs/... ./internal/chaos/... ./internal/resilience/...
 
 # Coverage artifact: a whole-repo coverprofile plus the per-function
 # summary CI uploads (cover.out, cover.txt).
@@ -98,6 +100,16 @@ recovery-smoke:
 # Emits the BENCH json artifact CI uploads (bench-obs.json).
 obs-smoke:
 	$(GO) run ./cmd/ffdl-bench -obs-overhead -obs-submitters 16 -obs-jobs 32 -obs-pairs 3 -json bench-obs.json
+
+# Chaos gate: the full soak — calm baseline arm, then every fault
+# injector concurrent (node crashes, pod kills, etcd outages + snapshot
+# restores, mongo failovers/feed drops/freezes, RPC drop/dup/delay,
+# replica crash-restarts) — with hard invariants (every job terminal,
+# watch exactly-once/in-order, admission conserved, log offsets
+# monotone) and a chaos-vs-calm latency SLO. Any violation exits 1
+# after writing the BENCH json artifact CI uploads (bench-chaos.json).
+chaos-smoke:
+	$(GO) run ./cmd/ffdl-bench -chaos-soak -soak-users 2 -soak-jobs 2 -soak-nodes 3 -json bench-chaos.json
 
 # Docs drift gate: README.md must mention every example, and
 # docs/architecture.md must cover every internal package, and the watch

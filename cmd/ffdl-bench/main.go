@@ -15,6 +15,7 @@
 //	ffdl-bench -commitlog -json bench-commitlog.json
 //	ffdl-bench -recovery -rc-jobs 3 -json bench-recovery.json
 //	ffdl-bench -obs-overhead -obs-submitters 16 -json bench-obs.json
+//	ffdl-bench -chaos-soak -soak-jobs 3 -json bench-chaos.json
 package main
 
 import (
@@ -60,6 +61,12 @@ func main() {
 		obsJobs    = flag.Int("obs-jobs", 0, "submissions per arm for -obs-overhead (0 = default 2x submitters)")
 		obsPairs   = flag.Int("obs-pairs", 0, "interleaved instrumented/ablation pairs for -obs-overhead (0 = default 3)")
 		obsTol     = flag.Float64("obs-tolerance", 0, "accepted throughput loss percent for -obs-overhead (0 = default 5)")
+		chaosSoak  = flag.Bool("chaos-soak", false, "run the chaos soak (all fault injectors concurrent; nonzero exit on any invariant violation)")
+		soakUsers  = flag.Int("soak-users", 0, "tenants for -chaos-soak (0 = default 3)")
+		soakJobs   = flag.Int("soak-jobs", 0, "jobs per tenant for -chaos-soak (0 = default 3)")
+		soakNodes  = flag.Int("soak-nodes", 0, "worker nodes for -chaos-soak (0 = default 4)")
+		soakSLO    = flag.Float64("soak-slo", 0, "chaos/calm p99 SLO factor for -chaos-soak (0 = default 30)")
+		soakV      = flag.Bool("soak-v", false, "stream -chaos-soak progress lines to stderr")
 		jsonOut    = flag.String("json", "", "also write -sched-scale / -watch-churn / -tenant / -throughput / -commitlog / -recovery results as JSON to this file")
 	)
 	flag.Parse()
@@ -91,11 +98,21 @@ func main() {
 		payload["obs_overhead"] = res
 		obsFailed = !res.WithinBudget
 	}
+	soakFailed := false
+	if *chaosSoak {
+		res := runChaosSoak(*soakUsers, *soakJobs, *soakNodes, *soakSLO, *seed, *soakV)
+		payload["chaos_soak"] = res
+		soakFailed = len(res.Violations) > 0
+	}
 	if len(payload) > 0 {
 		writeJSON(*jsonOut, payload)
 	}
 	if obsFailed {
 		fmt.Fprintln(os.Stderr, "ffdl-bench: obs-overhead gate FAILED: instrumented throughput over budget")
+		os.Exit(1)
+	}
+	if soakFailed {
+		fmt.Fprintln(os.Stderr, "ffdl-bench: chaos-soak gate FAILED: invariant violations under fault injection")
 		os.Exit(1)
 	}
 	if !*all && *table == 0 && *fig == 0 {
@@ -296,6 +313,32 @@ func runObsOverhead(submitters, jobs, pairs int, tolerance float64, seed int64) 
 		os.Exit(1)
 	}
 	fmt.Println(expt.RenderObsOverhead(res).String())
+	return res
+}
+
+// runChaosSoak runs the chaos soak (calm baseline arm + all-injector
+// chaos arm), prints the table, and returns the raw result for the
+// BENCH json artifact. The caller exits nonzero on violations — after
+// the JSON artifact is written, so CI keeps the evidence.
+func runChaosSoak(users, jobsPerUser, nodes int, sloFactor float64, seed int64, verbose bool) expt.ChaosSoakResult {
+	cfg := expt.ChaosSoakConfig{
+		Users: users, JobsPerUser: jobsPerUser, Nodes: nodes,
+		SLOFactor: sloFactor, Seed: seed,
+	}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ffdl-bench: soak: "+format+"\n", args...)
+		}
+	}
+	res, err := expt.ChaosSoak(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: chaos-soak: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(expt.RenderChaosSoak(res).String())
+	for _, v := range res.Violations {
+		fmt.Fprintf(os.Stderr, "ffdl-bench: chaos-soak violation: %s\n", v)
+	}
 	return res
 }
 

@@ -116,6 +116,13 @@ func main() {
 			}
 			id, err := client.Submit(ctx, m)
 			if err != nil {
+				if ffdl.IsDegraded(err) {
+					// Read-only degraded mode: the submission was shed,
+					// not rejected. Tell the client to retry.
+					w.Header().Set("Retry-After", "1")
+					fail(w, http.StatusServiceUnavailable, err)
+					return
+				}
 				fail(w, http.StatusUnprocessableEntity, err)
 				return
 			}

@@ -169,6 +169,16 @@ var (
 	ParseTier = tenant.ParseTier
 )
 
+// ErrDegraded is the retryable error submissions receive while the
+// platform is in read-only degraded mode (metadata-store breaker open).
+// Test with IsDegraded, which also matches the error after it has
+// crossed the RPC boundary as message text; HTTP gateways map it to
+// 503 + Retry-After.
+var ErrDegraded = core.ErrDegraded
+
+// IsDegraded reports whether err means "platform degraded, retry later".
+func IsDegraded(err error) bool { return core.IsDegraded(err) }
+
 // Frameworks.
 const (
 	Caffe      = perf.Caffe

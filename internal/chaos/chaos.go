@@ -32,6 +32,11 @@ type Injector struct {
 	nodeCrash int64
 	podKills  int64
 	downNodes map[string]bool
+	// gens counts crashes per node. A restore timer armed for generation
+	// g restores the node only if g is still current, so a node crashed
+	// again before its restore fires (a crash-loop) is never restored
+	// early by the stale timer or restored twice.
+	gens      map[string]int
 	stopCh    chan struct{}
 	wg        sync.WaitGroup
 	stopOnce  sync.Once
@@ -47,6 +52,7 @@ func NewInjector(c *kube.Cluster, rng *sim.RNG) *Injector {
 		NodeMTBF:     0,
 		NodeRecovery: 200 * time.Millisecond,
 		downNodes:    make(map[string]bool),
+		gens:         make(map[string]int),
 		stopCh:       make(chan struct{}),
 	}
 }
@@ -120,26 +126,46 @@ func (in *Injector) nodeLoop() {
 			continue
 		}
 		victim := up[in.rng.Intn(len(up))]
-		in.downNodes[victim] = true
-		in.nodeCrash++
-		recovery := time.Duration(in.rng.Exp(float64(in.NodeRecovery)))
 		in.mu.Unlock()
-
-		in.cluster.CrashNode(victim)
-		in.wg.Add(1)
-		go func(name string, after time.Duration) {
-			defer in.wg.Done()
-			select {
-			case <-in.stopCh:
-				return
-			case <-in.clock.After(after):
-			}
-			in.cluster.RestoreNode(name)
-			in.mu.Lock()
-			delete(in.downNodes, name)
-			in.mu.Unlock()
-		}(victim, recovery)
+		in.CrashNode(victim)
 	}
+}
+
+// CrashNode crashes the named node through the injector's bookkeeping
+// and arms a jittered restore timer. Crashing a node that is already
+// down models a crash-loop: the crash generation advances, superseding
+// the pending restore, so a flaky node is never double-restored (or
+// restored early) by a stale timer.
+func (in *Injector) CrashNode(name string) {
+	in.mu.Lock()
+	in.gens[name]++
+	gen := in.gens[name]
+	in.downNodes[name] = true
+	in.nodeCrash++
+	// Exponential jitter around NodeRecovery: a wave of simultaneous
+	// crashes desynchronizes instead of restoring as a thundering herd.
+	recovery := time.Duration(in.rng.Exp(float64(in.NodeRecovery)))
+	in.mu.Unlock()
+
+	in.cluster.CrashNode(name)
+	in.wg.Add(1)
+	go func() {
+		defer in.wg.Done()
+		select {
+		case <-in.stopCh:
+			return
+		case <-in.clock.After(recovery):
+		}
+		in.mu.Lock()
+		if in.gens[name] != gen || !in.downNodes[name] {
+			// A newer crash owns this node now; its timer restores it.
+			in.mu.Unlock()
+			return
+		}
+		delete(in.downNodes, name)
+		in.mu.Unlock()
+		in.cluster.RestoreNode(name)
+	}()
 }
 
 // podLoop kills random running pods.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/ffdl/ffdl/internal/etcd"
+	"github.com/ffdl/ffdl/internal/sim"
 )
 
 // EtcdInjector drives coordination-layer chaos against an etcd cluster:
@@ -15,8 +16,12 @@ import (
 // describes the contract under attack).
 type EtcdInjector struct {
 	c *etcd.Cluster
-	// Timeout bounds each convergence wait. Defaults to 10s.
+	// Timeout bounds each convergence wait, measured on the cluster's
+	// own clock (virtual under FakeClock, so chaos waits are exact and
+	// auto-advance keeps them fast). Defaults to 10s.
 	Timeout time.Duration
+
+	clock sim.Clock
 
 	mu        sync.Mutex
 	outages   int64
@@ -24,9 +29,14 @@ type EtcdInjector struct {
 	restores  uint64
 }
 
-// NewEtcdInjector returns an injector bound to a cluster.
+// NewEtcdInjector returns an injector bound to a cluster, pacing its
+// convergence waits on the cluster's clock.
 func NewEtcdInjector(c *etcd.Cluster) *EtcdInjector {
-	return &EtcdInjector{c: c, Timeout: 10 * time.Second}
+	clock := c.Clock()
+	if clock == nil {
+		clock = sim.NewRealClock()
+	}
+	return &EtcdInjector{c: c, Timeout: 10 * time.Second, clock: clock}
 }
 
 // Stats reports (outage cycles, forced failovers, snapshot restores
@@ -52,9 +62,9 @@ func (in *EtcdInjector) OutageCycle(churn func()) (victim int, restored bool) {
 	in.c.Isolate(victim, true)
 	churn()
 	in.c.Isolate(victim, false)
-	deadline := time.Now().Add(in.Timeout)
-	for !in.converged(victim) && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
+	deadline := in.clock.Now().Add(in.Timeout)
+	for !in.converged(victim) && in.clock.Now().Before(deadline) {
+		in.clock.Sleep(2 * time.Millisecond)
 	}
 	delta := in.c.SnapshotRestores() - before
 	in.mu.Lock()
@@ -78,16 +88,16 @@ func (in *EtcdInjector) converged(victim int) bool {
 // term — and heals it. It reports whether target took leadership within
 // the timeout.
 func (in *EtcdInjector) ForceLeader(target int, stale func()) bool {
-	deadline := time.Now().Add(in.Timeout)
+	deadline := in.clock.Now().Add(in.Timeout)
 	for {
 		cur := in.c.Leader()
 		switch {
 		case cur == target:
 			return true
-		case time.Now().After(deadline):
+		case in.clock.Now().After(deadline):
 			return false
 		case cur < 0:
-			time.Sleep(2 * time.Millisecond)
+			in.clock.Sleep(2 * time.Millisecond)
 			continue
 		}
 		in.c.Isolate(cur, true)
@@ -95,15 +105,15 @@ func (in *EtcdInjector) ForceLeader(target int, stale func()) bool {
 		// Evaluate the election while cur is still cut off: Leader()
 		// ignores isolated replicas, so a healed node's stale
 		// leadership claim cannot be misread as the outcome here.
-		for in.c.Leader() < 0 && time.Now().Before(deadline) {
-			time.Sleep(2 * time.Millisecond)
+		for in.c.Leader() < 0 && in.clock.Now().Before(deadline) {
+			in.clock.Sleep(2 * time.Millisecond)
 		}
 		in.c.Isolate(cur, false)
 		// The healed replica still claims its old term until the real
 		// leader's first contact demotes it; wait that claim out so the
 		// next evaluation (and the caller) read the true leader.
-		for in.c.Leader() == cur && time.Now().Before(deadline) {
-			time.Sleep(2 * time.Millisecond)
+		for in.c.Leader() == cur && in.clock.Now().Before(deadline) {
+			in.clock.Sleep(2 * time.Millisecond)
 		}
 		in.mu.Lock()
 		in.failovers++

@@ -9,6 +9,7 @@ import (
 
 	"github.com/ffdl/ffdl/internal/mongo"
 	"github.com/ffdl/ffdl/internal/obs"
+	"github.com/ffdl/ffdl/internal/resilience"
 	"github.com/ffdl/ffdl/internal/rpc"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
@@ -28,12 +29,17 @@ type JobArgs struct{ JobID string }
 
 // StatusReply returns status and history. QueuePos is the job's 1-based
 // position in the tenant dispatch queue while Status is QUEUED (0
-// otherwise, or when tenancy is disabled).
+// otherwise, or when tenancy is disabled). Degraded marks a reply served
+// from the status bus's replay window while the metadata store is
+// unavailable: Status and History are the latest transitions the bus
+// retains (History may be truncated at the front), and QueuePos is
+// unavailable.
 type StatusReply struct {
 	JobID    string
 	Status   JobStatus
 	QueuePos int
 	History  []StatusEntry
+	Degraded bool
 }
 
 // TenantArgs addresses one tenant.
@@ -113,6 +119,7 @@ type apiReplica struct {
 
 func newAPIReplica(p *Platform, index int) (*apiReplica, error) {
 	a := &apiReplica{p: p, index: index, lcm: rpc.NewBalancer(p.Registry, ServiceLCM)}
+	a.lcm.Use(p.res.apiLCM)
 	if err := a.listen(); err != nil {
 		return nil, err
 	}
@@ -163,11 +170,34 @@ func (a *apiReplica) handleSubmit(_ context.Context, arg any) (any, error) {
 	status := StatusPending
 	message := "job submitted"
 	if a.p.Dispatcher != nil {
-		if _, ok := a.p.Tenants.Get(m.User); !ok {
+		// The tenant lookup rides the mongo edge policy like every other
+		// metadata read: a store outage here must shed retryably, not
+		// masquerade as "no tenant record".
+		var known bool
+		if err := a.p.mongoDo(func() error {
+			var err error
+			_, known, err = a.p.Tenants.Lookup(m.User)
+			return err
+		}); err != nil {
+			if mongoOutageErr(err) {
+				a.p.Metrics.Inc("api.degraded_sheds")
+				return nil, degradedSubmitErr(err)
+			}
+			return nil, fmt.Errorf("core: tenant lookup: %w", err)
+		}
+		if !known {
 			return nil, fmt.Errorf("core: user %q has no tenant record (set a quota first)", m.User)
 		}
 		status = StatusQueued
 		message = "job queued for admission"
+	}
+	// Degraded mode sheds submissions up front: with the metadata store's
+	// breaker open the insert below could only fail (or queue behind a
+	// dead store), and the "never lost after acknowledge" contract (§3.2)
+	// forbids acknowledging anything not durably persisted.
+	if a.p.Degraded() {
+		a.p.Metrics.Inc("api.degraded_sheds")
+		return nil, degradedSubmitErr(fmt.Errorf("submission shed, breaker open"))
 	}
 	jobID := a.p.nextJobID()
 	if adm := a.p.Admission; adm != nil && a.p.Dispatcher == nil {
@@ -185,9 +215,16 @@ func (a *apiReplica) handleSubmit(_ context.Context, arg any) (any, error) {
 		"status": string(status), "time": now.Format(time.RFC3339Nano),
 		"message": message,
 	}}
-	if _, err := a.p.Jobs.Insert(doc); err != nil {
+	if err := a.p.mongoDo(func() error {
+		_, err := a.p.Jobs.Insert(doc)
+		return err
+	}); err != nil {
 		if adm := a.p.Admission; adm != nil && a.p.Dispatcher == nil {
 			adm.Release(jobID) // keep accounting exact on failed persists
+		}
+		if mongoOutageErr(err) {
+			a.p.Metrics.Inc("api.degraded_sheds")
+			return nil, degradedSubmitErr(err)
 		}
 		return nil, fmt.Errorf("core: persist job: %w", err)
 	}
@@ -272,8 +309,18 @@ func (a *apiReplica) deployWithRetry(jobID string) {
 
 func (a *apiReplica) handleStatus(_ context.Context, arg any) (any, error) {
 	req := arg.(JobArgs)
-	doc, err := a.p.Jobs.FindOne(mongo.Filter{"_id": req.JobID})
+	doc, err := a.p.findJob(req.JobID)
 	if err != nil {
+		// Graceful degradation: while the metadata store is unavailable,
+		// serve the latest transitions the status bus retains (flagged
+		// Degraded) instead of failing the read. Not-found and other
+		// store answers surface as before.
+		if mongoOutageErr(err) {
+			if reply, ok := a.p.degradedStatus(req.JobID); ok {
+				a.p.Metrics.Inc("api.degraded_reads")
+				return reply, nil
+			}
+		}
 		return nil, fmt.Errorf("core: job %s: %w", req.JobID, err)
 	}
 	rec := docToRecord(doc)
@@ -440,6 +487,15 @@ func (a *apiReplica) handleWatch(ctx context.Context, arg any, send func(any) er
 	refill := func() (done bool, err error) {
 		rec, err := a.jobRecord(req.JobID)
 		if err != nil {
+			// Degraded: the metadata store did not answer. The stream
+			// survives on live bus events alone — Seq dedup keeps
+			// delivery exactly-once — and the safety tick retries the
+			// durable reconcile once the store heals. Store answers
+			// (job deleted) still end the stream.
+			if mongoOutageErr(err) {
+				a.p.Metrics.Inc("watch.degraded_refills")
+				return false, nil
+			}
 			return false, err
 		}
 		if next, err = sendHistoryFrom(rec, next, send); err != nil {
@@ -509,7 +565,7 @@ func (a *apiReplica) handleWatch(ctx context.Context, arg any, send func(any) er
 }
 
 func (a *apiReplica) jobRecord(jobID string) (JobRecord, error) {
-	doc, err := a.p.Jobs.FindOne(mongo.Filter{"_id": jobID})
+	doc, err := a.p.findJob(jobID)
 	if err != nil {
 		return JobRecord{}, fmt.Errorf("core: job %s: %w", jobID, err)
 	}
@@ -573,6 +629,16 @@ func NewClient(reg *rpc.Registry) *Client {
 // watch reconnects do not stall virtual time). It returns the client.
 func (c *Client) WithClock(clk sim.Clock) *Client {
 	c.clock = clk
+	return c
+}
+
+// WithResilience installs a client→api resilience policy on the
+// client's balancer: transient call failures (every replica briefly
+// down, a connection cut mid-dial) retry with backoff instead of
+// surfacing. Platform.Client installs the platform's shared policy;
+// external constructions may pass their own. It returns the client.
+func (c *Client) WithResilience(p *resilience.Policy) *Client {
+	c.api.Use(p)
 	return c
 }
 

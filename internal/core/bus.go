@@ -165,6 +165,31 @@ func (b *statusBus) ReplayJob(jobID string, fromSeq int) (evs []StatusEvent, ok 
 	return evs, len(evs) > 0
 }
 
+// LatestJob returns whatever retained transitions of jobID the replay
+// log still holds, in Seq order, without ReplayJob's completeness
+// demand: the front may be truncated by compaction. This is degraded
+// mode's read path — while the metadata store is unavailable the API
+// serves status from here, flagged Degraded, rather than failing reads
+// outright.
+func (b *statusBus) LatestJob(jobID string) []StatusEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var evs []StatusEvent
+	last := 0
+	for _, rec := range b.log.Records(0) {
+		if rec.Key != jobID {
+			continue
+		}
+		ev, isEv := busEvent(rec)
+		if !isEv || ev.Seq <= last {
+			continue // late terminal echo or compaction duplicate
+		}
+		evs = append(evs, ev)
+		last = ev.Seq
+	}
+	return evs
+}
+
 // busEvent extracts the StatusEvent a log record carries: the in-memory
 // Value on the MemStore path, decoded from the durable payload
 // otherwise (records recovered from a reopened store carry no Value).

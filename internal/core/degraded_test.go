@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDegradedModeServesReadsShedsSubmits is the end-to-end pin for
+// graceful degradation (ISSUE acceptance): with the metadata store's
+// breaker open, status and watch reads serve from the status bus's
+// replay window (flagged Degraded) and submissions are shed with a
+// retryable ErrDegraded — then everything recovers once the store heals
+// and the breaker's open window elapses.
+func TestDegradedModeServesReadsShedsSubmits(t *testing.T) {
+	p := newTestPlatform(t, nil)
+	c := p.Client()
+	ctx := context.Background()
+
+	// A job completes while the store is healthy, seeding the bus's
+	// replay window with its full history.
+	jobID, err := c.Submit(ctx, testManifest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitStatus(t, c, jobID, StatusCompleted, 20*time.Second)
+
+	// Outage: the primary stops answering. The first failing submit's
+	// retries trip the breaker (threshold 3 <= the policy's 3 attempts),
+	// so degradation is immediate and subsequent submits shed fast.
+	p.Mongo.SetUnavailable(true)
+	if _, err := c.Submit(ctx, testManifest()); err == nil {
+		t.Fatal("submit succeeded while the metadata store is down")
+	} else if !IsDegraded(err) {
+		t.Fatalf("submit error not degraded-retryable: %v", err)
+	}
+	if !p.Degraded() {
+		t.Fatal("platform not degraded after breaker tripped")
+	}
+	// Shed path: breaker open, the submit is rejected up front.
+	if _, err := c.Submit(ctx, testManifest()); !IsDegraded(err) {
+		t.Fatalf("shed submit error = %v, want degraded", err)
+	}
+
+	// Status reads serve the retained history, flagged Degraded.
+	reply, err := c.Status(ctx, jobID)
+	if err != nil {
+		t.Fatalf("degraded status read failed: %v", err)
+	}
+	if !reply.Degraded {
+		t.Fatal("status reply not flagged Degraded")
+	}
+	if reply.Status != StatusCompleted {
+		t.Fatalf("degraded status = %s, want %s", reply.Status, StatusCompleted)
+	}
+	if len(reply.History) == 0 {
+		t.Fatal("degraded status reply carries no history")
+	}
+
+	// Watch reads work too: the stream replays the bus's commit-log
+	// window (no MongoDB read) in order through the terminal entry.
+	wch, wcancel, err := c.WatchStatus(ctx, jobID)
+	if err != nil {
+		t.Fatalf("degraded WatchStatus: %v", err)
+	}
+	defer wcancel()
+	var last JobStatus
+	n := 0
+	for e := range wch {
+		last = e.Status
+		n++
+	}
+	if last != StatusCompleted || n < 3 {
+		t.Fatalf("degraded watch delivered %d entries ending %s, want full history ending %s", n, last, StatusCompleted)
+	}
+
+	// Heal. Once the breaker's open window elapses, a half-open probe
+	// succeeds and submissions flow again.
+	p.Mongo.SetUnavailable(false)
+	deadline := time.Now().Add(5 * time.Second)
+	var job2 string
+	for {
+		job2, err = c.Submit(ctx, testManifest())
+		if err == nil {
+			break
+		}
+		if !IsDegraded(err) {
+			t.Fatalf("post-heal submit failed non-degraded: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered after heal: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitStatus(t, c, job2, StatusCompleted, 20*time.Second)
+
+	// Healed replies are no longer flagged.
+	reply, err = c.Status(ctx, job2)
+	if err != nil || reply.Degraded {
+		t.Fatalf("post-heal status degraded=%v err=%v, want clean read", reply.Degraded, err)
+	}
+
+	// The degraded window was observable on the platform counters.
+	if got := p.Metrics.Counter("api.degraded_sheds"); got < 2 {
+		t.Fatalf("api.degraded_sheds = %d, want >= 2", got)
+	}
+	if got := p.Metrics.Counter("api.degraded_reads"); got < 1 {
+		t.Fatalf("api.degraded_reads = %d, want >= 1", got)
+	}
+}

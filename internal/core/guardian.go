@@ -6,7 +6,6 @@ import (
 
 	"github.com/ffdl/ffdl/internal/etcd"
 	"github.com/ffdl/ffdl/internal/kube"
-	"github.com/ffdl/ffdl/internal/mongo"
 	"github.com/ffdl/ffdl/internal/sched"
 	"github.com/ffdl/ffdl/internal/sim"
 )
@@ -25,9 +24,9 @@ func (p *Platform) runGuardian(ctx *kube.PodContext) int {
 	if jobID == "" {
 		return 1
 	}
-	doc, err := p.Jobs.FindOne(mongo.Filter{"_id": jobID})
+	doc, err := p.findJob(jobID)
 	if err != nil {
-		return 1 // metadata gone; let the Job back off
+		return 1 // metadata gone or store unavailable; let the Job back off
 	}
 	rec := docToRecord(doc)
 	if rec.Status.Terminal() {
@@ -61,7 +60,15 @@ func (p *Platform) runGuardian(ctx *kube.PodContext) int {
 		p.Metrics.Inc("guardian.deploy_retries")
 	}
 	if deployErr != nil {
-		p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("deployment failed after %d attempts: %v", p.cfg.DeployAttempts, deployErr)) //nolint:errcheck
+		if err := p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("deployment failed after %d attempts: %v", p.cfg.DeployAttempts, deployErr)); err != nil && mongoOutageErr(err) {
+			// The store did not answer, so the failure cannot be
+			// recorded — and a deploy that failed *because* of the
+			// outage (the DEPLOYING transition errors too) deserves a
+			// retry, not a verdict. Roll back and let kube restart the
+			// guardian with backoff.
+			p.rollbackJob(jobID)
+			return 1
+		}
 		p.teardownJob(jobID)
 		return 0
 	}
@@ -238,20 +245,34 @@ func (p *Platform) checkJob(jobID string, m Manifest, halted *bool) (code int, d
 	if kv, ok, _ := p.Etcd.Get(keyControl(jobID)); ok {
 		switch string(kv.Value) {
 		case controlTerminate:
-			p.setJobStatus(jobID, StatusCanceled, "terminated by user") //nolint:errcheck
+			if err := p.setJobStatus(jobID, StatusCanceled, "terminated by user"); err != nil && mongoOutageErr(err) {
+				// The terminal transition could not be recorded (store
+				// outage): keep the guardian alive so the next check
+				// retries. Tearing down now would strand the job
+				// non-terminal forever.
+				return 0, false
+			}
 			p.teardownJob(jobID)
 			return 0, true
 		case controlHalt:
 			if !*halted {
-				*halted = true
 				p.Kube.Store().Delete(kube.KindStatefulSet, learnerSetName(jobID))
-				p.Etcd.DeletePrefix(keyJobPrefix(jobID) + "learners/")                     //nolint:errcheck
-				p.setJobStatus(jobID, StatusHalted, "halted by user; checkpoint retained") //nolint:errcheck
+				p.Etcd.DeletePrefix(keyJobPrefix(jobID) + "learners/") //nolint:errcheck
+				if err := p.setJobStatus(jobID, StatusHalted, "halted by user; checkpoint retained"); err != nil && mongoOutageErr(err) {
+					// Not recorded: leave *halted false so the next check
+					// re-runs this (idempotent) branch once the store
+					// answers — the dispatcher needs the HALTED event to
+					// requeue the victim.
+					return 0, false
+				}
+				*halted = true
 			}
 		case controlResume:
 			if *halted {
+				if err := p.setJobStatus(jobID, StatusResumed, "resumed from latest checkpoint"); err != nil && mongoOutageErr(err) {
+					return 0, false // retry once the store answers
+				}
 				*halted = false
-				p.setJobStatus(jobID, StatusResumed, "resumed from latest checkpoint") //nolint:errcheck
 				st := p.Kube.Store()
 				st.Put(kube.KindStatefulSet, learnerSetName(jobID), &kube.StatefulSet{
 					Name: learnerSetName(jobID), Replicas: m.Learners,
@@ -272,14 +293,22 @@ func (p *Platform) checkJob(jobID string, m Manifest, halted *bool) (code int, d
 		return 0, false
 	}
 
-	// Completion.
+	// Completion. The terminal transition must be durably recorded
+	// before teardown: if the metadata store does not answer, the done
+	// key stays in place and the next evaluation retries — otherwise a
+	// store outage at exactly the wrong moment would strand the job
+	// non-terminal with its guardian gone.
 	if kv, ok, _ := p.Etcd.Get(keyDone(jobID)); ok {
 		code, _ := strconv.Atoi(string(kv.Value))
+		var err error
 		if code == 0 {
 			p.setJobStatus(jobID, StatusStoring, "storing trained model and logs") //nolint:errcheck
-			p.setJobStatus(jobID, StatusCompleted, "training completed")           //nolint:errcheck
+			err = p.setJobStatus(jobID, StatusCompleted, "training completed")
 		} else {
-			p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("learner failed with exit code %d", code)) //nolint:errcheck
+			err = p.setJobStatus(jobID, StatusFailed, fmt.Sprintf("learner failed with exit code %d", code))
+		}
+		if err != nil && mongoOutageErr(err) {
+			return 0, false
 		}
 		p.teardownJob(jobID)
 		return 0, true

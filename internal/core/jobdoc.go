@@ -119,7 +119,7 @@ func docToRecord(d mongo.Doc) JobRecord {
 func (p *Platform) setJobStatus(jobID string, to JobStatus, msg string) error {
 	p.statusMu.Lock()
 	defer p.statusMu.Unlock()
-	doc, err := p.Jobs.FindOne(mongo.Filter{"_id": jobID})
+	doc, err := p.findJob(jobID)
 	if err != nil {
 		return fmt.Errorf("core: job %s not found: %w", jobID, err)
 	}
@@ -134,11 +134,13 @@ func (p *Platform) setJobStatus(jobID string, to JobStatus, msg string) error {
 		return fmt.Errorf("core: illegal status transition %s -> %s for %s", from, to, jobID)
 	}
 	now := p.clock.Now()
-	err = p.Jobs.UpdateOne(mongo.Filter{"_id": jobID}, mongo.Update{
-		Set: mongo.Doc{"status": string(to), "updated": now.Format(time.RFC3339Nano)},
-		Push: map[string]any{"history": map[string]any{
-			"status": string(to), "time": now.Format(time.RFC3339Nano), "message": msg,
-		}},
+	err = p.mongoDo(func() error {
+		return p.Jobs.UpdateOne(mongo.Filter{"_id": jobID}, mongo.Update{
+			Set: mongo.Doc{"status": string(to), "updated": now.Format(time.RFC3339Nano)},
+			Push: map[string]any{"history": map[string]any{
+				"status": string(to), "time": now.Format(time.RFC3339Nano), "message": msg,
+			}},
+		})
 	})
 	if err != nil {
 		return err
@@ -164,9 +166,9 @@ func (p *Platform) setJobStatus(jobID string, to JobStatus, msg string) error {
 	return nil
 }
 
-// jobStatus reads a job's current status.
+// jobStatus reads a job's current status through the mongo edge policy.
 func (p *Platform) jobStatus(jobID string) (JobStatus, error) {
-	doc, err := p.Jobs.FindOne(mongo.Filter{"_id": jobID})
+	doc, err := p.findJob(jobID)
 	if err != nil {
 		return "", err
 	}

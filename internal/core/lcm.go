@@ -66,12 +66,29 @@ func (l *lcmReplica) handleDeploy(_ context.Context, arg any) (any, error) {
 }
 
 func (l *lcmReplica) ensureGuardian(jobID string) error {
-	if _, err := l.p.Jobs.FindOne(mongo.Filter{"_id": jobID}); err != nil {
+	doc, err := l.p.findJob(jobID)
+	if err != nil {
 		return fmt.Errorf("core: deploy unknown job %s: %w", jobID, err)
 	}
 	name := guardianJobName(jobID)
-	if _, exists := l.p.Kube.Store().Get(kube.KindJob, name); exists {
-		return nil // idempotent
+	if obj, exists := l.p.Kube.Store().Get(kube.KindJob, name); exists {
+		j, ok := obj.(*kube.Job)
+		if !ok || !j.Failed {
+			return nil // idempotent: the guardian is alive (or finished)
+		}
+		// The guardian burned through its restart budget — a sustained
+		// crash loop (chaos node/pod kills, a long store outage at pod
+		// start) can exhaust any finite backoff — but the DL job is not
+		// terminal, so nobody is left to drive it. Resurrect the
+		// guardian with a fresh Job object rather than strand the job;
+		// its steps are idempotent and roll back (§3.3), so a fresh
+		// incarnation is always safe.
+		rec := docToRecord(doc)
+		if rec.Status.Terminal() || rec.Status == StatusHalted || rec.Status == StatusQueued {
+			return nil
+		}
+		l.p.Kube.Store().Delete(kube.KindJob, name)
+		l.p.Metrics.Inc("lcm.guardian_resurrections")
 	}
 	var deployStart time.Time
 	if l.p.Tracer != nil {
@@ -152,23 +169,20 @@ func (l *lcmReplica) handleTerminate(_ context.Context, arg any) (any, error) {
 // verb; QUEUED stays excluded: admission belongs to the tenant
 // dispatcher.
 //
-// A memory platform keeps the seed's PENDING-only scan: its metadata
-// store is born empty, so every non-PENDING job it ever observes was
-// admitted through this platform and already has its Guardian in the
-// shared kube — the only guardianless non-PENDING docs there are ones
-// written straight to MongoDB by another API replica's feed, and
-// redeploying those would race the writer.
+// Memory platforms scan the same statuses: their metadata store is born
+// empty, so every mid-flight job the scan sees was admitted through
+// this platform and normally still has its Guardian — making the scan a
+// no-op — but a guardian whose kube Job exhausted its restart backoff
+// (sustained chaos kill loops) is gone for good, and only this scan
+// (via ensureGuardian's resurrection path) brings it back.
 func (l *lcmReplica) recoveryLoop() {
 	events, cancel := l.p.bus.Subscribe("", 256)
 	defer cancel()
 	ticker := l.p.clock.NewTicker(l.p.cfg.PollInterval * 10)
 	defer ticker.Stop()
-	recoverable := []JobStatus{StatusPending}
-	if l.p.cfg.DataDir != "" {
-		recoverable = append(recoverable,
-			StatusDeploying, StatusDownloading,
-			StatusProcessing, StatusStoring, StatusResumed,
-		)
+	recoverable := []JobStatus{
+		StatusPending, StatusDeploying, StatusDownloading,
+		StatusProcessing, StatusStoring, StatusResumed,
 	}
 	scan := func() {
 		for _, st := range recoverable {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -237,6 +238,11 @@ type Platform struct {
 
 	Registry *rpc.Registry
 
+	// res holds the per-dependency-edge resilience policies (retry,
+	// backoff, breaker — see resilience.go). One policy per edge, shared
+	// by every caller, so each dependency has exactly one breaker.
+	res *resilienceHub
+
 	// Tenants and Dispatcher are the multi-tenant subsystem (nil unless
 	// Config.Tenancy is set): the MongoDB-backed quota registry and the
 	// event-driven admission queue over it. Admission is the shared
@@ -381,6 +387,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		Obs:       registry,
 		Tracer:    tracer,
 		Registry:  rpc.NewRegistry(),
+		res:       newResilienceHub(&cfg, instruments),
 		bus:       bus,
 		resources: make(map[string]*jobResources),
 		jobSeq:    jobSeq,
@@ -446,9 +453,11 @@ func (p *Platform) AddNode(name, gpuType string, gpus int, cpus int, memMB int64
 }
 
 // Client returns a load-balanced client for the platform's API service,
-// bound to the platform clock so waits run in simulated time.
+// bound to the platform clock so waits run in simulated time, with the
+// client→api resilience policy installed (transient replica failures
+// are retried with backoff instead of surfacing to every caller).
 func (p *Platform) Client() *Client {
-	return NewClient(p.Registry).WithClock(p.clock)
+	return NewClient(p.Registry).WithClock(p.clock).WithResilience(p.res.client)
 }
 
 // Clock returns the platform clock.
@@ -572,14 +581,22 @@ func (p *Platform) collectStats(set func(name string, v int64)) {
 	}
 }
 
-// tracedPut writes a job-scoped etcd key, recording an etcd.propose
-// sub-span on the job's trace under its current lifecycle phase.
+// tracedPut writes a job-scoped etcd key through the etcd edge policy,
+// recording an etcd.propose sub-span on the job's trace under its
+// current lifecycle phase. The span covers retries — that is the
+// latency the job actually experienced.
 func (p *Platform) tracedPut(jobID, key string, val []byte) (uint64, error) {
+	var rev uint64
+	put := func(context.Context) error {
+		var err error
+		rev, err = p.Etcd.Put(key, val, 0)
+		return err
+	}
 	if p.Tracer == nil {
-		return p.Etcd.Put(key, val, 0)
+		return rev, p.res.etcd.Do(context.Background(), put)
 	}
 	start := p.clock.Now()
-	rev, err := p.Etcd.Put(key, val, 0)
+	err := p.res.etcd.Do(context.Background(), put)
 	p.Tracer.Sub(jobID, "etcd.propose", start, p.clock.Now())
 	return rev, err
 }

@@ -43,7 +43,7 @@ func (p *Platform) startTenancy(tc *TenancyConfig) error {
 	}
 	p.Dispatcher = tenant.NewDispatcher(tenant.Config{
 		Clock:             p.clock,
-		Backend:           &tenantBackend{p: p, lcm: rpc.NewBalancer(p.Registry, ServiceLCM)},
+		Backend:           &tenantBackend{p: p, lcm: newDispatchBalancer(p)},
 		Registry:          p.Tenants,
 		Admission:         p.Admission,
 		ResyncInterval:    resync,
@@ -212,6 +212,17 @@ func tenantJobFromDoc(doc mongo.Doc) tenant.Job {
 func (p *Platform) clearPreempted(jobID string) {
 	p.Jobs.UpdateOne(mongo.Filter{"_id": jobID, "preempted": true}, //nolint:errcheck // marker may not exist
 		mongo.Update{Set: mongo.Doc{"preempted": false}})
+}
+
+// newDispatchBalancer builds the dispatcher's LCM balancer with the
+// dispatcher→lcm resilience policy installed: preempt/resume signals
+// retry transient LCM failures with backoff, and a dead LCM trips the
+// edge's breaker so dispatch passes shed instead of piling goroutines
+// behind it.
+func newDispatchBalancer(p *Platform) *rpc.Balancer {
+	b := rpc.NewBalancer(p.Registry, ServiceLCM)
+	b.Use(p.res.dispatchLCM)
+	return b
 }
 
 // tenantBackend implements tenant.Backend over the platform: MongoDB

@@ -815,6 +815,10 @@ func (c *Cluster) CutLink(a, b int, on bool) {
 // Leader returns the current leader id, or -1.
 func (c *Cluster) Leader() int { return c.leaderIndex() }
 
+// Clock returns the clock the cluster runs on, so chaos harnesses can
+// pace their convergence waits in the same (possibly virtual) time.
+func (c *Cluster) Clock() sim.Clock { return c.opts.Clock }
+
 // SnapshotRestores returns the total number of snapshot restores applied
 // across all replicas — the denominator of the watch-churn experiment's
 // resyncs-per-restore metric.

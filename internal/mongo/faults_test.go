@@ -1,0 +1,147 @@
+package mongo
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSetUnavailableGatesOps pins the failover-window contract: erroring
+// ops return ErrUnavailable, Find/Count return empty (level-triggered
+// safe), and committed state is intact after heal.
+func TestSetUnavailableGatesOps(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "j1", "state": "queued"}); err != nil {
+		t.Fatal(err)
+	}
+
+	db.SetUnavailable(true)
+	if _, err := c.Insert(Doc{"_id": "j2"}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := c.FindOne(Filter{"_id": "j1"}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("FindOne: %v", err)
+	}
+	if err := c.UpdateOne(Filter{"_id": "j1"}, Update{Set: Doc{"state": "x"}}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("UpdateOne: %v", err)
+	}
+	if err := c.Upsert(Filter{"_id": "j3"}, Update{Set: Doc{"v": 1}}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Upsert: %v", err)
+	}
+	if err := c.DeleteOne(Filter{"_id": "j1"}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("DeleteOne: %v", err)
+	}
+	if got := c.Find(Filter{}, FindOpts{}); len(got) != 0 {
+		t.Fatalf("Find during outage returned %d docs, want 0", len(got))
+	}
+	if got := c.Count(Filter{}); got != 0 {
+		t.Fatalf("Count during outage = %d, want 0", got)
+	}
+
+	db.SetUnavailable(false)
+	d, err := c.FindOne(Filter{"_id": "j1"})
+	if err != nil || d["state"] != "queued" {
+		t.Fatalf("after heal: doc=%v err=%v — outage must not lose committed state", d, err)
+	}
+}
+
+// TestDropFeedNextCommitsButSkipsFanout pins the dropped change-feed
+// batch fault: the write commits (oplog + collection agree) but live
+// subscribers see a Seq gap.
+func TestDropFeedNextCommitsButSkipsFanout(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	cs := db.Watch("jobs", 0)
+	defer cs.Cancel()
+
+	if _, err := c.Insert(Doc{"_id": "a"}); err != nil {
+		t.Fatal(err)
+	}
+	ev := recvEvent(t, cs)
+	if ev.ID != "a" {
+		t.Fatalf("first event %+v", ev)
+	}
+
+	db.DropFeedNext(1)
+	if _, err := c.Insert(Doc{"_id": "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(Doc{"_id": "c"}); err != nil {
+		t.Fatal(err)
+	}
+	// "b" is committed but its event was dropped: the next delivery is
+	// "c", with a visible Seq gap for the consumer to react to.
+	ev2 := recvEvent(t, cs)
+	if ev2.ID != "c" {
+		t.Fatalf("post-drop event %+v, want c", ev2)
+	}
+	if ev2.Seq != ev.Seq+2 {
+		t.Fatalf("seq gap not visible: %d -> %d", ev.Seq, ev2.Seq)
+	}
+	if _, err := c.FindOne(Filter{"_id": "b"}); err != nil {
+		t.Fatalf("dropped-feed write must still be committed: %v", err)
+	}
+	if db.OplogLen() != ev2.Seq {
+		t.Fatalf("oplog len %d, want %d", db.OplogLen(), ev2.Seq)
+	}
+}
+
+// TestSecondaryFreezeBuffersAndDrains pins the frozen/laggy secondary:
+// no ops apply while frozen, and thawing drains the buffered backlog in
+// order with no loss.
+func TestSecondaryFreezeBuffersAndDrains(t *testing.T) {
+	db := NewDB()
+	c := db.C("jobs")
+	if _, err := c.Insert(Doc{"_id": "a", "n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	sec := db.StartSecondary()
+	defer sec.Stop()
+	waitApplied(t, sec, 1)
+
+	sec.Freeze(true)
+	if _, err := c.Insert(Doc{"_id": "b", "n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateOne(Filter{"_id": "a"}, Update{Set: Doc{"n": 10}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := sec.Applied(); got != 1 {
+		t.Fatalf("frozen secondary applied %d, want 1", got)
+	}
+
+	sec.Freeze(false)
+	waitApplied(t, sec, 3)
+	if sec.C("jobs").Len() != 2 {
+		t.Fatalf("secondary has %d docs, want 2", sec.C("jobs").Len())
+	}
+	d, err := sec.C("jobs").FindOne(Filter{"_id": "a"})
+	if err != nil || d["n"] != 10 {
+		t.Fatalf("thawed secondary doc a = %v (err %v), want n=10", d, err)
+	}
+}
+
+func recvEvent(t *testing.T, cs *ChangeStream) ChangeEvent {
+	t.Helper()
+	select {
+	case ev := <-cs.Events():
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for change event")
+		return ChangeEvent{}
+	}
+}
+
+func waitApplied(t *testing.T, s *Secondary, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Applied() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("secondary applied %d, want >= %d", s.Applied(), want)
+}

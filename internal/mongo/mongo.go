@@ -505,6 +505,14 @@ var (
 	ErrNotFound = errors.New("mongo: document not found")
 	// ErrDuplicateID reports an insert with an existing _id.
 	ErrDuplicateID = errors.New("mongo: duplicate _id")
+	// ErrUnavailable reports that the primary is (simulated) down — a
+	// failover window injected by SetUnavailable. Erroring operations
+	// (FindOne, Insert, Update*, Upsert, DeleteOne) surface it; Find and
+	// Count, which have no error channel, return empty results, which is
+	// safe for their level-triggered consumers (they re-read on the next
+	// pass). Callers classify it as transient and retry under a
+	// resilience policy.
+	ErrUnavailable = errors.New("mongo: primary unavailable")
 )
 
 // Collection is a set of documents keyed by _id with optional secondary
@@ -569,6 +577,9 @@ func (c *Collection) indexRemoveLocked(d Doc, id string) {
 // copy-on-write views reads hand out.
 func (c *Collection) Insert(d Doc) (string, error) {
 	defer c.db.opEnd(c.db.opStart())
+	if c.db.Unavailable() {
+		return "", ErrUnavailable
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	stored := d.DeepClone()
@@ -622,6 +633,9 @@ func (c *Collection) candidatesLocked(f Filter) []string {
 // FindOne returns the first matching document (in _id order for
 // determinism).
 func (c *Collection) FindOne(f Filter) (Doc, error) {
+	if c.db.Unavailable() {
+		return nil, ErrUnavailable
+	}
 	docs := c.Find(f, FindOpts{Limit: 1})
 	if len(docs) == 0 {
 		return nil, ErrNotFound
@@ -646,6 +660,9 @@ type FindOpts struct {
 // is cloned.
 func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
 	defer c.db.opEnd(c.db.opStart())
+	if c.db.Unavailable() {
+		return nil // level-triggered consumers re-read on their next pass
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	ids := c.candidatesLocked(f)
@@ -686,6 +703,9 @@ func (c *Collection) Find(f Filter, opts FindOpts) []Doc {
 
 // Count returns the number of matching documents.
 func (c *Collection) Count(f Filter) int {
+	if c.db.Unavailable() {
+		return 0
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	cf := f.compile()
@@ -718,6 +738,9 @@ func (c *Collection) UpdateMany(f Filter, u Update) (int, error) {
 
 func (c *Collection) update(f Filter, u Update, limit int) (int, error) {
 	defer c.db.opEnd(c.db.opStart())
+	if c.db.Unavailable() {
+		return 0, ErrUnavailable
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ids := c.candidatesLocked(f)
@@ -761,6 +784,9 @@ func (c *Collection) Upsert(f Filter, u Update) error {
 
 // DeleteOne removes the first matching document.
 func (c *Collection) DeleteOne(f Filter) error {
+	if c.db.Unavailable() {
+		return ErrUnavailable
+	}
 	n := c.delete(f, 1)
 	if n == 0 {
 		return ErrNotFound
@@ -840,6 +866,41 @@ type DB struct {
 	// "mongo.op_latency" histogram; both nil on an uninstrumented DB.
 	obsOp *obs.Histogram
 	clock sim.Clock
+	// unavailable simulates a primary failover window: erroring
+	// operations return ErrUnavailable while set. Guarded by mu.
+	unavailable bool
+	// feedDrops suppresses change-feed fan-out for the next N committed
+	// ops (the oplog itself still records them), modeling dropped
+	// change-stream batches: consumers detect the Seq gap and refill
+	// from the collections. Guarded by mu.
+	feedDrops int
+}
+
+// SetUnavailable toggles a simulated primary outage: while on, erroring
+// operations return ErrUnavailable and Find/Count return empty results.
+// Committed state is untouched — this is a failover window, not a
+// crash.
+func (db *DB) SetUnavailable(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.unavailable = on
+}
+
+// Unavailable reports whether a simulated outage is active.
+func (db *DB) Unavailable() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.unavailable
+}
+
+// DropFeedNext suppresses change-feed fan-out for the next n committed
+// writes: the ops commit to the oplog but are not delivered to live
+// subscribers, modeling a dropped change-stream batch. Subscribers see
+// a Seq gap and recover via replay or refill.
+func (db *DB) DropFeedNext(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.feedDrops += n
 }
 
 // Options configures Open.
@@ -1057,6 +1118,14 @@ func (db *DB) logOp(o op) {
 		return // unreachable on a MemStore; never half-publish
 	}
 	db.opSeq = o.Seq
+	if db.feedDrops > 0 {
+		// Injected change-feed batch drop: the op is committed (oplog and
+		// collections agree) but live subscribers never hear about it —
+		// they detect the Seq gap and refill, exactly as for a slow-
+		// subscriber drop below.
+		db.feedDrops--
+		return
+	}
 	for _, ch := range db.subs {
 		select {
 		case ch <- o:
@@ -1246,6 +1315,8 @@ type Secondary struct {
 	subID   int
 	applied uint64
 	mu      sync.Mutex
+	frozen  bool
+	pending []op
 	stop    chan struct{}
 	done    chan struct{}
 }
@@ -1276,6 +1347,33 @@ func (db *DB) StartSecondary() *Secondary {
 func (s *Secondary) applyOp(o op) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frozen {
+		// Frozen/laggy replica: buffer in arrival order; Freeze(false)
+		// drains under this same lock, so a live op racing the thaw can
+		// never apply ahead of the buffered backlog.
+		s.pending = append(s.pending, o)
+		return
+	}
+	s.applyLocked(o)
+}
+
+// Freeze halts (on=true) or resumes (on=false) replication. While
+// frozen, incoming ops buffer in order; thawing drains them before any
+// newer live op applies. Chaos uses it to model a frozen or lagging
+// secondary.
+func (s *Secondary) Freeze(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = on
+	if !on {
+		for _, o := range s.pending {
+			s.applyLocked(o)
+		}
+		s.pending = nil
+	}
+}
+
+func (s *Secondary) applyLocked(o op) {
 	if o.Seq != 0 && o.Seq <= s.applied {
 		return
 	}

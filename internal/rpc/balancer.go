@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/ffdl/ffdl/internal/obs"
+	"github.com/ffdl/ffdl/internal/resilience"
 	"github.com/ffdl/ffdl/internal/sim"
 )
 
@@ -21,6 +22,16 @@ type Registry struct {
 	// this registry shares (atomic so SetObs can land after balancers
 	// exist). Nil pointer = uninstrumented.
 	obs atomic.Pointer[registryObs]
+	// faults holds the chaos fault injector shared by every connection
+	// dialed through this registry (atomic so chaos can install it on a
+	// running platform). Nil pointer = clean transport.
+	faults atomic.Pointer[Faults]
+}
+
+// SetFaults installs (or, with nil, removes) a per-link fault injector on
+// every connection dialed through this registry's balancers.
+func (r *Registry) SetFaults(f *Faults) {
+	r.faults.Store(f)
 }
 
 // registryObs bundles the RPC instrumentation one SetObs call derives.
@@ -95,6 +106,7 @@ func (r *Registry) Lookup(service string) []string {
 type Balancer struct {
 	registry *Registry
 	service  string
+	policy   atomic.Pointer[resilience.Policy]
 
 	mu    sync.Mutex
 	conns map[string]*Conn
@@ -105,6 +117,15 @@ type Balancer struct {
 func NewBalancer(reg *Registry, service string) *Balancer {
 	return &Balancer{registry: reg, service: service, conns: make(map[string]*Conn)}
 }
+
+// Use installs a resilience policy on this balancer: Call and Stream run
+// their replica sweeps under the policy's retry budget, backoff,
+// deadline and circuit breaker instead of the bare single-sweep
+// failover. A nil policy restores the bare sweep.
+func (b *Balancer) Use(p *resilience.Policy) { b.policy.Store(p) }
+
+// Policy returns the installed resilience policy, if any.
+func (b *Balancer) Policy() *resilience.Policy { return b.policy.Load() }
 
 // conn returns a live connection to addr, dialing if needed.
 func (b *Balancer) conn(addr string) (*Conn, error) {
@@ -118,6 +139,8 @@ func (b *Balancer) conn(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.addr = addr
+	c.faults = &b.registry.faults
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if existing, ok := b.conns[addr]; ok {
@@ -158,13 +181,41 @@ func retryable(err error) bool {
 	return errors.Is(err, ErrConnClosed)
 }
 
+// ClassifyRPC maps transport errors to resilience classes: a closed
+// connection or an empty registry is transient (the request never
+// reached a handler), a remote application error is terminal (the
+// dependency answered), and a canceled call is ambiguous (the handler
+// may have run). It is the Classify function for every RPC-edge policy.
+func ClassifyRPC(err error) resilience.Class {
+	switch {
+	case err == nil:
+		return resilience.Terminal
+	case errors.Is(err, ErrConnClosed), errors.Is(err, ErrNoEndpoints):
+		return resilience.Transient
+	case errors.Is(err, ErrCanceled):
+		return resilience.Ambiguous
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return resilience.Terminal
+	}
+	return resilience.Classify(err)
+}
+
 // Call performs a unary RPC against any live replica, failing over on
-// connection-level errors. Application errors are returned as-is.
+// connection-level errors. Application errors are returned as-is. With a
+// policy installed (Use), the whole replica sweep runs under its retry
+// budget, backoff, deadline and breaker.
 func (b *Balancer) Call(ctx context.Context, method string, arg, reply any) error {
 	if ro := b.registry.obs.Load(); ro != nil {
 		ro.calls.Inc()
 		start := ro.clock.Now()
 		defer func() { ro.roundtrip.ObserveDuration(ro.clock.Now().Sub(start)) }()
+	}
+	if p := b.policy.Load(); p != nil {
+		return p.Do(ctx, func(ctx context.Context) error {
+			return b.call(ctx, method, arg, reply)
+		})
 	}
 	return b.call(ctx, method, arg, reply)
 }
@@ -194,8 +245,29 @@ func (b *Balancer) call(ctx context.Context, method string, arg, reply any) erro
 	return lastErr
 }
 
-// Stream opens a server stream against any live replica.
+// Stream opens a server stream against any live replica. With a policy
+// installed, establishing the stream runs under it (the established
+// stream's Recv loop is the caller's to guard).
 func (b *Balancer) Stream(ctx context.Context, method string, arg any) (*StreamReader, error) {
+	if p := b.policy.Load(); p != nil {
+		var sr *StreamReader
+		// The stream deliberately binds to the caller's ctx, not the
+		// policy's per-Do context: the policy guards establishment, but
+		// the stream must outlive the Do call.
+		err := p.Do(ctx, func(context.Context) error {
+			var err error
+			sr, err = b.stream(ctx, method, arg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sr, nil
+	}
+	return b.stream(ctx, method, arg)
+}
+
+func (b *Balancer) stream(ctx context.Context, method string, arg any) (*StreamReader, error) {
 	addrs := b.pick()
 	if len(addrs) == 0 {
 		return nil, ErrNoEndpoints

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,12 @@ type Conn struct {
 	nextID uint64
 	calls  map[uint64]*call
 	closed bool
+
+	// addr/faults are set by the Balancer that dialed this connection;
+	// when the registry has a fault injector installed, each request
+	// frame draws a drop/duplicate/delay outcome for this link.
+	addr   string
+	faults *atomic.Pointer[Faults]
 }
 
 // Dial connects to a server address with a short timeout appropriate for
@@ -106,6 +113,16 @@ func (c *Conn) start(methodName string, arg any) (uint64, *call, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("rpc: encode %s argument: %w", methodName, err)
 	}
+	var drop, dup bool
+	if c.faults != nil {
+		if f := c.faults.Load(); f != nil {
+			var delay time.Duration
+			drop, dup, delay = f.decide(c.addr)
+			if delay > 0 {
+				f.clock.Sleep(delay)
+			}
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -115,7 +132,20 @@ func (c *Conn) start(methodName string, arg any) (uint64, *call, error) {
 	id := c.nextID
 	cl := &call{data: make(chan []byte, 16), done: make(chan error, 1)}
 	c.calls[id] = cl
-	err = c.writeFrame(&frame{Kind: frameCall, ID: id, Method: methodName, Body: body})
+	if drop {
+		// Injected frame loss: the call is registered but never sent, so
+		// it hangs exactly like a lost packet until the caller's context
+		// (or a resilience deadline) rescues it.
+		c.mu.Unlock()
+		return id, cl, nil
+	}
+	f := frame{Kind: frameCall, ID: id, Method: methodName, Body: body}
+	err = c.writeFrame(&f)
+	if err == nil && dup {
+		// Injected duplicate delivery: the server runs the method twice;
+		// the client keeps the first response and drops the straggler.
+		err = c.writeFrame(&f)
+	}
 	c.mu.Unlock()
 	if err != nil {
 		c.mu.Lock()

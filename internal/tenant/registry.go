@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/ffdl/ffdl/internal/mongo"
@@ -42,13 +43,28 @@ func (r *Registry) Put(rec Record) error {
 	})
 }
 
-// Get returns a tenant record.
+// Get returns a tenant record. It swallows store errors — absent and
+// unreadable look the same; callers that must tell a store outage apart
+// from a missing record use Lookup.
 func (r *Registry) Get(user string) (Record, bool) {
+	rec, ok, _ := r.Lookup(user)
+	return rec, ok
+}
+
+// Lookup returns a tenant record, distinguishing "no such record"
+// (ok=false, nil error) from a store failure (err != nil, e.g. the
+// primary is mid-failover) so admission paths can shed retryably
+// instead of issuing a false "no tenant record" verdict.
+func (r *Registry) Lookup(user string) (Record, bool, error) {
 	doc, err := r.coll.FindOne(mongo.Filter{"_id": user})
 	if err != nil {
-		return Record{}, false
+		if errors.Is(err, mongo.ErrNotFound) {
+			return Record{}, false, nil
+		}
+		return Record{}, false, err
 	}
-	return docToRecord(doc)
+	rec, ok := docToRecord(doc)
+	return rec, ok, nil
 }
 
 // List returns all tenant records, user-sorted.
